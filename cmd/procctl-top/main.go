@@ -1,0 +1,72 @@
+// Command procctl-top inspects a running procctld daemon: capacity,
+// external load, and each registered application's process count and
+// current target — a tiny "top" for the paper's central server.
+//
+// Usage:
+//
+//	procctl-top [-connect unix:/tmp/procctld.sock] [-watch 2s] [-setload N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"procctl/internal/runtime/coordinator"
+)
+
+func main() {
+	var (
+		connect = flag.String("connect", "unix:/tmp/procctld.sock", "daemon address (unix:PATH or tcp:HOST:PORT)")
+		watch   = flag.Duration("watch", 0, "refresh continuously at this interval")
+		setload = flag.Int("setload", -1, "report this uncontrollable load to the daemon and exit")
+	)
+	flag.Parse()
+
+	i := strings.Index(*connect, ":")
+	if i < 0 {
+		log.Fatalf("procctl-top: address %q needs a network prefix (unix: or tcp:)", *connect)
+	}
+	client, err := coordinator.Dial((*connect)[:i], (*connect)[i+1:])
+	if err != nil {
+		log.Fatalf("procctl-top: %v", err)
+	}
+	defer client.Close()
+
+	if *setload >= 0 {
+		if err := client.SetExternalLoad(*setload); err != nil {
+			log.Fatalf("procctl-top: %v", err)
+		}
+		fmt.Printf("external load set to %d\n", *setload)
+		return
+	}
+
+	for {
+		st, err := client.Status()
+		if err != nil {
+			log.Fatalf("procctl-top: %v", err)
+		}
+		print(st)
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+		fmt.Println()
+	}
+}
+
+func print(st *coordinator.Status) {
+	w := os.Stdout
+	fmt.Fprintf(w, "capacity %d, external load %d, %d application(s)\n",
+		st.Capacity, st.ExternalLoad, len(st.Apps))
+	if len(st.Apps) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-20s %6s %6s %6s\n", "APP", "PROCS", "WEIGHT", "TARGET")
+	for _, a := range st.Apps {
+		fmt.Fprintf(w, "%-20s %6d %6d %6d\n", a.Name, a.Procs, a.Weight, a.Target)
+	}
+}

@@ -1,0 +1,114 @@
+// Command procctl-trace records and analyzes kernel scheduling traces
+// from the simulator.
+//
+//	procctl-trace record [-out trace.jsonl] [-control] [-policy P] [-seconds N]
+//	    runs the Figure 4-style mix and writes a JSONL scheduling trace
+//	procctl-trace summary [-in trace.jsonl]
+//	    aggregates a trace into per-application state residency
+//
+// With no file flags, record writes to stdout and summary reads stdin,
+// so the two compose: procctl-trace record | procctl-trace summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"procctl/internal/apps"
+	"procctl/internal/experiments"
+	"procctl/internal/kernel"
+	"procctl/internal/sim"
+	"procctl/internal/threads"
+	"procctl/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "summary":
+		summary(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: procctl-trace record|summary [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out     = fs.String("out", "", "trace file (default stdout)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		policy  = fs.String("policy", "timeshare", "scheduling policy")
+		control = fs.Bool("control", false, "enable process control")
+		seconds = fs.Float64("seconds", 10, "virtual seconds to trace")
+	)
+	fs.Parse(args)
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("procctl-trace: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	o := experiments.Options{Seed: *seed, Seeds: 1}
+	names, factories := experiments.NamedPolicies()
+	factory, ok := factories[*policy]
+	if !ok {
+		log.Fatalf("procctl-trace: unknown policy %q (have %v)", *policy, names)
+	}
+	o.NewPolicy = factory
+
+	s := experiments.NewSim(o, *control)
+	rec := trace.NewRecorder(s.K, w)
+	cfg := threads.Config{Procs: 12}
+	if s.Server != nil {
+		cfg.Controller = s.Server
+	}
+	threads.Launch(s.K, kernel.AppID(1), apps.PaperMatmul(), cfg)
+	threads.Launch(s.K, kernel.AppID(2), apps.PaperFFT(), cfg)
+	apps.Background(s.K, 2, 20*sim.Millisecond, 30*sim.Millisecond)
+
+	s.Eng.Run(sim.Time(sim.DurationOf(*seconds)))
+	s.K.Finalize()
+	s.K.Shutdown()
+	if err := rec.Flush(); err != nil {
+		log.Fatalf("procctl-trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "procctl-trace: %d events over %.1fs virtual time\n", rec.Events(), *seconds)
+}
+
+func summary(args []string) {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (default stdin)")
+	fs.Parse(args)
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("procctl-trace: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	sum, err := trace.ReadSummary(r)
+	if err != nil {
+		log.Fatalf("procctl-trace: %v", err)
+	}
+	fmt.Print(sum.Render())
+}

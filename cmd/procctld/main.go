@@ -1,0 +1,108 @@
+// Command procctld is the central coordinator daemon: the paper's
+// user-level server for real Go programs. Applications register their
+// adaptive pools over a Unix or TCP socket and poll for how many workers
+// they should keep runnable; procctld divides the machine's processors
+// fairly among them.
+//
+// Usage:
+//
+//	procctld [-listen unix:/tmp/procctld.sock] [-capacity N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"procctl/internal/runtime/coordinator"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "unix:/tmp/procctld.sock", "listen address (unix:PATH or tcp:HOST:PORT)")
+		capacity = flag.Int("capacity", runtime.NumCPU(), "processors to divide among applications")
+		verbose  = flag.Bool("v", false, "log registrations and rebalances")
+	)
+	flag.Parse()
+
+	network, addr, err := splitListen(*listen)
+	if err != nil {
+		log.Fatalf("procctld: %v", err)
+	}
+	if network == "unix" {
+		// A stale socket from an unclean shutdown blocks the listener.
+		os.Remove(addr)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		log.Fatalf("procctld: listen: %v", err)
+	}
+
+	coord := coordinator.New(*capacity)
+	srv := coordinator.NewServer(coord, ln)
+	log.Printf("procctld: managing %d processors on %s", *capacity, ln.Addr())
+
+	if *verbose {
+		go logChanges(coord)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("procctld: shutting down")
+		srv.Close()
+		if network == "unix" {
+			os.Remove(addr)
+		}
+	}()
+
+	if err := srv.Serve(); err != nil && !isClosed(err) {
+		log.Fatalf("procctld: serve: %v", err)
+	}
+}
+
+// splitListen parses "unix:/path" or "tcp:host:port".
+func splitListen(s string) (network, addr string, err error) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("listen address %q needs a network prefix (unix: or tcp:)", s)
+	}
+	network, addr = s[:i], s[i+1:]
+	switch network {
+	case "unix", "tcp":
+		return network, addr, nil
+	default:
+		return "", "", fmt.Errorf("unsupported network %q", network)
+	}
+}
+
+func isClosed(err error) bool {
+	return strings.Contains(err.Error(), "use of closed network connection")
+}
+
+// logChanges prints the target table whenever the membership changes,
+// checking twice a second.
+func logChanges(coord *coordinator.Coordinator) {
+	last := int64(-1)
+	for range time.Tick(500 * time.Millisecond) {
+		n := coord.Rebalances()
+		if n == last {
+			continue
+		}
+		last = n
+		targets := coord.Targets()
+		var b strings.Builder
+		for _, name := range coord.Members() {
+			fmt.Fprintf(&b, " %s=%d", name, targets[name])
+		}
+		log.Printf("procctld: targets:%s", b.String())
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestSplitListen(t *testing.T) {
+	cases := []struct {
+		in      string
+		network string
+		addr    string
+		wantErr bool
+	}{
+		{"unix:/tmp/x.sock", "unix", "/tmp/x.sock", false},
+		{"tcp:localhost:7717", "tcp", "localhost:7717", false},
+		{"tcp::7717", "tcp", ":7717", false},
+		{"udp:x", "", "", true},
+		{"nocolon", "", "", true},
+	}
+	for _, c := range cases {
+		network, addr, err := splitListen(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("splitListen(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && (network != c.network || addr != c.addr) {
+			t.Errorf("splitListen(%q) = %q %q, want %q %q", c.in, network, addr, c.network, c.addr)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module procctl
+
+go 1.22

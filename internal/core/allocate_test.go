@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatePaperExample(t *testing.T) {
+	// Section 5's worked example: 8 processors, 2 used by
+	// uncontrollable processes, three applications with 2, 3, and 3
+	// processes. Each gets two processors; the first is capped at its
+	// own process count.
+	avail := Available(8, 2)
+	got := Allocate(avail, []Demand{{Max: 2}, {Max: 3}, {Max: 3}})
+	want := []int{2, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Allocate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllocateEqualSplit(t *testing.T) {
+	got := Allocate(16, []Demand{{Max: 16}, {Max: 16}})
+	if got[0] != 8 || got[1] != 8 {
+		t.Errorf("Allocate = %v, want [8 8]", got)
+	}
+}
+
+func TestAllocateThreeWay(t *testing.T) {
+	got := Allocate(16, []Demand{{Max: 16}, {Max: 16}, {Max: 16}})
+	if Sum(got) != 16 {
+		t.Errorf("sum %d != 16", Sum(got))
+	}
+	for i := range got {
+		if got[i] < 5 || got[i] > 6 {
+			t.Errorf("unfair three-way split: %v", got)
+		}
+	}
+}
+
+func TestAllocateCapRedistributes(t *testing.T) {
+	// A small application's unused share goes to the others.
+	got := Allocate(16, []Demand{{Max: 2}, {Max: 16}, {Max: 16}})
+	if got[0] != 2 || got[1]+got[2] != 14 {
+		t.Errorf("Allocate = %v", got)
+	}
+	if diff := got[1] - got[2]; diff < -1 || diff > 1 {
+		t.Errorf("uncapped apps differ by more than 1: %v", got)
+	}
+}
+
+func TestAllocateStarvationFloor(t *testing.T) {
+	// Overloaded machine: every application still gets one process.
+	got := Allocate(0, []Demand{{Max: 4}, {Max: 4}, {Max: 4}})
+	for i, g := range got {
+		if g != 1 {
+			t.Errorf("app %d got %d, want floor 1 (alloc %v)", i, g, got)
+		}
+	}
+}
+
+func TestAllocateZeroMax(t *testing.T) {
+	got := Allocate(8, []Demand{{Max: 0}, {Max: 8}})
+	if got[0] != 0 {
+		t.Errorf("app with no processes got %d", got[0])
+	}
+	if got[1] != 8 {
+		t.Errorf("running app got %d, want 8", got[1])
+	}
+}
+
+func TestAllocateWeighted(t *testing.T) {
+	got := Allocate(12, []Demand{{Max: 12, Weight: 2}, {Max: 12, Weight: 1}})
+	// Weight-2 app should get roughly twice the processors.
+	if got[0] <= got[1] {
+		t.Errorf("weighted allocation not respected: %v", got)
+	}
+	if Sum(got) != 12 {
+		t.Errorf("sum %d != 12", Sum(got))
+	}
+}
+
+func TestAllocateEmptyAndNegative(t *testing.T) {
+	if Allocate(8, nil) != nil {
+		t.Error("empty demands should return nil")
+	}
+	got := Allocate(-5, []Demand{{Max: 4}})
+	if got[0] != 1 {
+		t.Errorf("negative capacity: got %v, want floor", got)
+	}
+}
+
+func TestAvailable(t *testing.T) {
+	cases := []struct{ ncpu, un, want int }{
+		{16, 0, 16}, {16, 4, 12}, {16, 16, 0}, {16, 20, 0}, {8, 2, 6},
+	}
+	for _, c := range cases {
+		if got := Available(c.ncpu, c.un); got != c.want {
+			t.Errorf("Available(%d,%d) = %d, want %d", c.ncpu, c.un, got, c.want)
+		}
+	}
+}
+
+// Property tests.
+
+func clampDemands(raw []uint8) []Demand {
+	if len(raw) > 12 {
+		raw = raw[:12]
+	}
+	d := make([]Demand, len(raw))
+	for i, r := range raw {
+		d[i] = Demand{Max: int(r % 40)}
+	}
+	return d
+}
+
+func TestAllocatePropertyCapsAndFloor(t *testing.T) {
+	err := quick.Check(func(capRaw uint8, raw []uint8) bool {
+		capacity := int(capRaw % 64)
+		demands := clampDemands(raw)
+		got := Allocate(capacity, demands)
+		if len(got) != len(demands) {
+			return false
+		}
+		for i, g := range got {
+			if demands[i].Max > 0 && g < 1 {
+				return false // starvation floor violated
+			}
+			if g > demands[i].Max {
+				return false // cap violated
+			}
+			if g < 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatePropertySumBound(t *testing.T) {
+	err := quick.Check(func(capRaw uint8, raw []uint8) bool {
+		capacity := int(capRaw % 64)
+		demands := clampDemands(raw)
+		got := Allocate(capacity, demands)
+		active := 0
+		for _, d := range demands {
+			if d.Max > 0 {
+				active++
+			}
+		}
+		limit := capacity
+		if active > limit {
+			limit = active // the floor may exceed capacity
+		}
+		return Sum(got) <= limit
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatePropertyFairness(t *testing.T) {
+	// Equal-weight applications whose caps don't bind differ by at most
+	// one processor.
+	err := quick.Check(func(capRaw uint8, n uint8) bool {
+		capacity := int(capRaw % 64)
+		count := int(n%8) + 1
+		demands := make([]Demand, count)
+		for i := range demands {
+			demands[i] = Demand{Max: 1000}
+		}
+		got := Allocate(capacity, demands)
+		min, max := got[0], got[0]
+		for _, g := range got {
+			if g < min {
+				min = g
+			}
+			if g > max {
+				max = g
+			}
+		}
+		return max-min <= 1
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatePropertyDeterministic(t *testing.T) {
+	err := quick.Check(func(capRaw uint8, raw []uint8) bool {
+		capacity := int(capRaw % 64)
+		demands := clampDemands(raw)
+		a := Allocate(capacity, demands)
+		b := Allocate(capacity, demands)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatePropertyMonotoneCapacity(t *testing.T) {
+	// More capacity never reduces the total allocated.
+	err := quick.Check(func(capRaw uint8, raw []uint8) bool {
+		capacity := int(capRaw % 63)
+		demands := clampDemands(raw)
+		return Sum(Allocate(capacity+1, demands)) >= Sum(Allocate(capacity, demands))
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemandWeightDefault(t *testing.T) {
+	if (Demand{}).weight() != 1 || (Demand{Weight: -3}).weight() != 1 || (Demand{Weight: 4}).weight() != 4 {
+		t.Error("weight defaulting broken")
+	}
+}

@@ -1,0 +1,173 @@
+// Package ctrl simulates the paper's centralized user-level server
+// (Section 5). The server periodically obtains the list of runnable
+// processes from the kernel (the paper uses a UMAX system call; here the
+// scan reads simulator state directly), subtracts the processors
+// consumed by uncontrollable processes, and divides the remainder fairly
+// among the registered applications using the policy in internal/core.
+// Applications poll for their target at their own (slower) interval, so
+// the staleness behaviour the paper reports — the few seconds of delay
+// in Figure 5 — is reproduced.
+package ctrl
+
+import (
+	"procctl/internal/core"
+	"procctl/internal/kernel"
+	"procctl/internal/sim"
+)
+
+// DefaultScanInterval is how often the server recomputes targets. The
+// paper does not give its server interval; it must only be comfortably
+// below the applications' 6 s poll interval.
+const DefaultScanInterval = sim.Second
+
+// PartitionSizer is implemented by scheduling policies that dedicate a
+// processor partition to each application (kernel.Partition). When the
+// kernel runs such a policy, the server aligns each application's target
+// with its partition size instead of the global equipartition — the
+// paper's Section 7 integration of process control with processor
+// partitioning.
+type PartitionSizer interface {
+	CPUsOf(app kernel.AppID) int
+}
+
+// Server is the simulated central server.
+type Server struct {
+	k        *kernel.Kernel
+	interval sim.Duration
+
+	registered map[kernel.AppID]int // app -> processes it was started with
+	order      []kernel.AppID       // registration order (deterministic)
+	targets    map[kernel.AppID]int
+
+	// Stats.
+	Scans       int64
+	PollsServed int64
+}
+
+// NewServer creates the server and installs its periodic scan on the
+// kernel's engine. A non-positive interval selects DefaultScanInterval.
+func NewServer(k *kernel.Kernel, interval sim.Duration) *Server {
+	if interval <= 0 {
+		interval = DefaultScanInterval
+	}
+	s := &Server{
+		k:          k,
+		interval:   interval,
+		registered: make(map[kernel.AppID]int),
+		targets:    make(map[kernel.AppID]int),
+	}
+	k.Engine().Every(interval, func() bool {
+		s.Scan()
+		return true
+	})
+	return s
+}
+
+// Register implements threads.Controller: a new controllable
+// application announces itself and its process count.
+func (s *Server) Register(id kernel.AppID, procs int) {
+	if _, ok := s.registered[id]; !ok {
+		s.order = append(s.order, id)
+	}
+	s.registered[id] = procs
+	s.targets[id] = procs // until the first scan, let it run everything
+	s.Scan()              // the paper's server reacts to creation promptly
+}
+
+// Unregister implements threads.Controller.
+func (s *Server) Unregister(id kernel.AppID) {
+	delete(s.registered, id)
+	delete(s.targets, id)
+	for i, a := range s.order {
+		if a == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.Scan() // freed processors are redistributed promptly
+}
+
+// Poll implements threads.Controller: return the application's current
+// target. Unknown applications get their own process count back
+// (equivalent to no control).
+func (s *Server) Poll(id kernel.AppID) int {
+	s.PollsServed++
+	if t, ok := s.targets[id]; ok {
+		return t
+	}
+	return s.registered[id]
+}
+
+// Target exposes the current target for tests and traces.
+func (s *Server) Target(id kernel.AppID) int { return s.targets[id] }
+
+// Registered returns the number of registered applications.
+func (s *Server) Registered() int { return len(s.order) }
+
+// Scan recomputes every application's target from current kernel state.
+// It runs periodically but is exported so tests can force a recompute.
+func (s *Server) Scan() {
+	s.Scans++
+
+	if sizer, ok := s.k.Policy().(PartitionSizer); ok {
+		for _, app := range s.order {
+			t := sizer.CPUsOf(app)
+			max := s.liveProcs(app)
+			if max == 0 {
+				max = s.registered[app]
+			}
+			if t == 0 {
+				// The partition has not materialized yet (the
+				// application registered before its processes were
+				// scheduled); do not throttle on stale data.
+				t = max
+			}
+			if t > max {
+				t = max
+			}
+			if t < 1 {
+				t = 1
+			}
+			s.targets[app] = t
+		}
+		return
+	}
+
+	perApp, uncontrolled := s.k.CountByApp()
+
+	// Runnable processes of parallel applications that never registered
+	// count as uncontrollable load too.
+	for app, n := range perApp {
+		if _, ok := s.registered[app]; !ok {
+			uncontrolled += n
+		}
+	}
+
+	avail := core.Available(s.k.NumCPU(), uncontrolled)
+	demands := make([]core.Demand, len(s.order))
+	for i, app := range s.order {
+		// Cap at the number of processes the application still has
+		// (exited workers no longer count).
+		max := s.liveProcs(app)
+		if max == 0 {
+			max = s.registered[app]
+		}
+		demands[i] = core.Demand{Max: max}
+	}
+	alloc := core.Allocate(avail, demands)
+	for i, app := range s.order {
+		s.targets[app] = alloc[i]
+	}
+}
+
+// liveProcs counts an application's non-exited processes (runnable,
+// running, or suspended).
+func (s *Server) liveProcs(app kernel.AppID) int {
+	n := 0
+	for _, p := range s.k.Processes() {
+		if p.App() == app && p.State() != kernel.Exited {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"procctl/internal/apps"
+	"procctl/internal/trace"
+)
+
+// LatencyResult is the ABL-LATENCY experiment: per-task queueing-delay
+// distributions for an overloaded application with and without process
+// control. It quantifies the paper's Section 2 observation that
+// "unscheduled processes are placed on a FIFO queue, and the more
+// unscheduled processes there are, the longer it takes for a preempted
+// process to get to the front of the queue and be rescheduled" — which
+// surfaces to the application as long task waits.
+type LatencyResult struct {
+	Procs int
+	Off   *trace.Histogram // task ready→start wait, original package
+	On    *trace.Histogram // same, with process control
+}
+
+// Latency runs the overloaded matmul (24 processes by default) with
+// latency recording, control off and on.
+func Latency(o Options, procs int) *LatencyResult {
+	o = o.withDefaults()
+	if procs <= 0 {
+		procs = 24
+	}
+	res := &LatencyResult{
+		Procs: procs,
+		Off:   trace.NewHistogram(),
+		On:    trace.NewHistogram(),
+	}
+	for _, control := range []bool{false, true} {
+		s := NewSim(o, control)
+		cfg := s.Opts.Threads
+		cfg.Procs = procs
+		cfg.RecordLatency = true
+		app := s.LaunchWith(1, apps.PaperMatmul(), cfg)
+		ok := s.RunUntil(app.Done)
+		s.mustFinish(ok, "latency run")
+		wait, _ := app.LatencyStats()
+		h := res.Off
+		if control {
+			h = res.On
+		}
+		for _, w := range wait {
+			h.Add(w)
+		}
+	}
+	return res
+}
+
+// Render prints the two distributions.
+func (r *LatencyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Task queueing delay (ready → dequeued), matmul with %d processes on 16 CPUs\n", r.Procs)
+	fmt.Fprintf(&b, "  original:   %s\n", r.Off)
+	fmt.Fprintf(&b, "  controlled: %s\n", r.On)
+	b.WriteString("\noriginal package, wait distribution:\n")
+	b.WriteString(r.Off.Bars(40))
+	b.WriteString("\nwith process control:\n")
+	b.WriteString(r.On.Bars(40))
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package kernel
+
+import "procctl/internal/sim"
+
+// Affinity is the Lazowska/Squillante cache-affinity discipline from the
+// paper's Section 3: a preempted process is requeued on the processor it
+// last ran on, so that it finds its working set still in that cache. To
+// avoid the load imbalance the paper notes, idle processors steal from
+// the longest remote queue once the imbalance exceeds StealThreshold.
+type Affinity struct {
+	// StealThreshold is the remote queue length above which an idle
+	// processor migrates a process instead of idling (default 2).
+	StealThreshold int
+
+	k     *Kernel
+	local []fifoQueue // one run queue per CPU
+}
+
+// NewAffinity returns the policy with default parameters.
+func NewAffinity() *Affinity { return &Affinity{} }
+
+// Name implements Policy.
+func (a *Affinity) Name() string { return "affinity" }
+
+// Attach implements Policy.
+func (a *Affinity) Attach(k *Kernel) {
+	a.k = k
+	if a.StealThreshold <= 0 {
+		a.StealThreshold = 2
+	}
+	a.local = make([]fifoQueue, k.NumCPU())
+}
+
+// Enqueue implements Policy: back to the last CPU's queue; processes
+// that never ran go to the shortest queue.
+func (a *Affinity) Enqueue(p *Process) {
+	cpu := p.lastCPU
+	if cpu < 0 {
+		cpu = a.shortest()
+	}
+	a.local[cpu].push(p)
+}
+
+func (a *Affinity) shortest() int {
+	best := 0
+	for i := 1; i < len(a.local); i++ {
+		if a.local[i].len() < a.local[best].len() {
+			best = i
+		}
+	}
+	return best
+}
+
+func (a *Affinity) longest() int {
+	best := 0
+	for i := 1; i < len(a.local); i++ {
+		if a.local[i].len() > a.local[best].len() {
+			best = i
+		}
+	}
+	return best
+}
+
+// PickNext implements Policy: local queue first; otherwise steal from
+// the longest queue if it is long enough to justify losing affinity.
+func (a *Affinity) PickNext(cpu int) *Process {
+	if p := a.local[cpu].pop(); p != nil {
+		return p
+	}
+	victim := a.longest()
+	if a.local[victim].len() >= a.StealThreshold {
+		return a.local[victim].pop()
+	}
+	// Steal even a single waiting process rather than idle forever, but
+	// only from a queue whose own CPU is busy.
+	if a.local[victim].len() > 0 && a.k.RunningOn(victim) != nil {
+		return a.local[victim].pop()
+	}
+	return nil
+}
+
+// OnQuantumExpire implements Policy: always preempt.
+func (a *Affinity) OnQuantumExpire(p *Process) sim.Duration { return 0 }
+
+// QuantumFor implements Policy: kernel default.
+func (a *Affinity) QuantumFor(p *Process) sim.Duration { return 0 }
+
+// OnExit implements Policy.
+func (a *Affinity) OnExit(p *Process) {}

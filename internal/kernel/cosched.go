@@ -1,0 +1,151 @@
+package kernel
+
+import "procctl/internal/sim"
+
+// Cosched is Ousterhout's coscheduling (gang scheduling) from the
+// paper's Section 3: all runnable processes of an application are
+// scheduled and preempted together, in rotating time slices. Spin-wait
+// pathologies disappear (a lock holder's peers run whenever it does),
+// but context-switch overhead and cache corruption remain — the paper's
+// criticism — because whole applications still rotate across the CPUs.
+type Cosched struct {
+	// Slice is the gang rotation period (default: kernel quantum).
+	Slice sim.Duration
+	// Backfill lets leftover processors run processes from gangs
+	// outside the current activation ("fragments"), keeping the machine
+	// busy (default true).
+	Backfill bool
+
+	k      *Kernel
+	gangs  map[AppID]*fifoQueue
+	order  []AppID // gang arrival order; rotation index walks this
+	rot    int
+	active fifoQueue // the current activation, popped by PickNext
+}
+
+// NewCosched returns a coscheduling policy with default parameters.
+func NewCosched() *Cosched { return &Cosched{Backfill: true} }
+
+// Name implements Policy.
+func (c *Cosched) Name() string { return "cosched" }
+
+// Attach implements Policy.
+func (c *Cosched) Attach(k *Kernel) {
+	c.k = k
+	if c.Slice <= 0 {
+		c.Slice = k.Config().Quantum
+	}
+	c.gangs = make(map[AppID]*fifoQueue)
+	k.Engine().Every(c.Slice, func() bool {
+		c.rotate()
+		return k.Live() > 0
+	})
+}
+
+func (c *Cosched) gang(app AppID) *fifoQueue {
+	g, ok := c.gangs[app]
+	if !ok {
+		g = &fifoQueue{}
+		c.gangs[app] = g
+		c.order = append(c.order, app)
+	}
+	return g
+}
+
+// Enqueue implements Policy.
+func (c *Cosched) Enqueue(p *Process) { c.gang(p.app).push(p) }
+
+// rotate advances the gang window: it selects the applications to run
+// for the next slice, preempts running processes that are not part of
+// the selection, and exposes the selection to PickNext.
+func (c *Cosched) rotate() {
+	// Return any unconsumed activation entries to their gangs.
+	for c.active.len() > 0 {
+		p := c.active.pop()
+		c.gang(p.app).push(p)
+	}
+
+	ncpu := c.k.NumCPU()
+
+	// Count per-gang demand including currently running processes.
+	runningBy := make(map[AppID]int)
+	for i := 0; i < ncpu; i++ {
+		if p := c.k.RunningOn(i); p != nil {
+			runningBy[p.app]++
+		}
+	}
+
+	// Advance rotation to the next gang with demand.
+	if len(c.order) > 0 {
+		for step := 0; step < len(c.order); step++ {
+			c.rot = (c.rot + 1) % len(c.order)
+			app := c.order[c.rot]
+			if c.gangs[app].len()+runningBy[app] > 0 {
+				break
+			}
+		}
+	}
+
+	// Build the selection: whole gangs in rotation order until the
+	// machine is full.
+	selected := make(map[AppID]bool)
+	slots := ncpu
+	for step := 0; step < len(c.order) && slots > 0; step++ {
+		app := c.order[(c.rot+step)%len(c.order)]
+		demand := c.gangs[app].len() + runningBy[app]
+		if demand == 0 || demand > slots {
+			continue
+		}
+		selected[app] = true
+		slots -= demand
+	}
+
+	// Preempt running processes whose gang was not selected.
+	for i := 0; i < ncpu; i++ {
+		if p := c.k.RunningOn(i); p != nil && !selected[p.app] {
+			c.k.Preempt(p)
+		}
+	}
+
+	// Move selected gangs' queued processes into the activation.
+	for step := 0; step < len(c.order); step++ {
+		app := c.order[(c.rot+step)%len(c.order)]
+		if !selected[app] {
+			continue
+		}
+		g := c.gangs[app]
+		for g.len() > 0 {
+			c.active.push(g.pop())
+		}
+	}
+	c.k.kickIdle()
+}
+
+// PickNext implements Policy: serve the activation first, then (if
+// Backfill) any other runnable process in rotation order.
+func (c *Cosched) PickNext(cpu int) *Process {
+	if p := c.active.pop(); p != nil {
+		return p
+	}
+	if !c.Backfill {
+		return nil
+	}
+	for step := 0; step < len(c.order); step++ {
+		app := c.order[(c.rot+step)%len(c.order)]
+		if p := c.gangs[app].pop(); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// OnQuantumExpire implements Policy: rotation handles preemption; a
+// quantum expiry mid-slice just requeues normally.
+func (c *Cosched) OnQuantumExpire(p *Process) sim.Duration { return 0 }
+
+// QuantumFor implements Policy: twice the slice, so rotation — not the
+// per-process quantum — is the normal preemption mechanism.
+func (c *Cosched) QuantumFor(p *Process) sim.Duration { return 2 * c.Slice }
+
+// OnExit implements Policy.
+func (c *Cosched) OnExit(p *Process) {}

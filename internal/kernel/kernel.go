@@ -1,0 +1,582 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"procctl/internal/machine"
+	"procctl/internal/sim"
+)
+
+// Config holds kernel-wide scheduling parameters.
+type Config struct {
+	// Quantum is the default time slice. The default is 30 ms (a few
+	// clock ticks), calibrated so that the uncontrolled multiprogrammed
+	// runs degrade the way the paper's Figure 1/4 measurements do; the
+	// quantum ablation (ABL-QUANTUM in DESIGN.md) sweeps it.
+	Quantum sim.Duration
+	// QuantumJitter models timer-tick alignment: each dispatch's slice
+	// is extended by a uniform random amount in [0, QuantumJitter). A
+	// real kernel's quantum ends at a clock tick, not an exact offset
+	// from dispatch, so slices are never perfectly synchronized across
+	// processors. Default 10 ms (one 100 Hz tick).
+	QuantumJitter sim.Duration
+}
+
+// DefaultConfig returns the UMAX-like configuration used throughout the
+// paper reproduction.
+func DefaultConfig() Config {
+	return Config{
+		Quantum:       30 * sim.Millisecond,
+		QuantumJitter: 10 * sim.Millisecond,
+	}
+}
+
+// cpuState is the kernel's per-processor scheduling record, wrapping the
+// hardware model.
+type cpuState struct {
+	hw        *machine.CPU
+	running   *Process
+	idle      bool
+	idleSince sim.Time
+	idleTime  sim.Duration
+}
+
+// Kernel owns the processors and processes and drives dispatching. All
+// methods must be called from the simulation goroutine (experiment setup
+// code or event callbacks), never from concurrent goroutines.
+type Kernel struct {
+	eng  *sim.Engine
+	mac  *machine.Machine
+	pol  Policy
+	cfg  Config
+	cpus []*cpuState
+
+	procs  []*Process // every process ever spawned, in spawn order
+	byID   map[PID]*Process
+	nextID PID
+	nlive  int
+
+	rng *sim.RNG
+	wg  sync.WaitGroup
+
+	// Optional hooks for tracing. Invoked synchronously.
+	OnSpawn       func(*Process)
+	OnExit        func(*Process)
+	OnStateChange func(p *Process, old, new ProcState)
+}
+
+// New builds a kernel over mac using the given scheduling policy.
+func New(eng *sim.Engine, mac *machine.Machine, pol Policy, cfg Config) *Kernel {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = DefaultConfig().Quantum
+	}
+	k := &Kernel{
+		eng:  eng,
+		mac:  mac,
+		pol:  pol,
+		cfg:  cfg,
+		byID: make(map[PID]*Process),
+		rng:  eng.RNG().Split(),
+	}
+	for _, c := range mac.CPUs() {
+		k.cpus = append(k.cpus, &cpuState{hw: c, idle: true})
+	}
+	pol.Attach(k)
+	return k
+}
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Machine returns the hardware model.
+func (k *Kernel) Machine() *machine.Machine { return k.mac }
+
+// Policy returns the scheduling policy.
+func (k *Kernel) Policy() Policy { return k.pol }
+
+// Config returns the kernel configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.eng.Now() }
+
+// NumCPU returns the processor count.
+func (k *Kernel) NumCPU() int { return len(k.cpus) }
+
+// Live returns the number of processes not yet exited.
+func (k *Kernel) Live() int { return k.nlive }
+
+// Processes returns every process ever spawned, in spawn order. Callers
+// must treat the slice as read-only.
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// Lookup returns the process with the given PID, or nil.
+func (k *Kernel) Lookup(id PID) *Process { return k.byID[id] }
+
+// Spawn creates a runnable process executing body, belonging to app, with
+// the given cache working-set size in bytes. The body runs as a coroutine
+// in strict alternation with the engine.
+func (k *Kernel) Spawn(name string, app AppID, workingSet int64, body func(*Env)) *Process {
+	k.nextID++
+	p := &Process{
+		id:         k.nextID,
+		name:       name,
+		app:        app,
+		body:       body,
+		workingSet: workingSet,
+		lastCPU:    -1,
+		state:      Embryo,
+	}
+	p.env = &Env{
+		p:     p,
+		k:     k,
+		req:   make(chan request),
+		grant: make(chan struct{}),
+		rng:   k.rng.Split(),
+	}
+	k.procs = append(k.procs, p)
+	k.byID[p.id] = p
+	k.nlive++
+	k.wg.Add(1)
+	go k.procMain(p)
+	k.setState(p, Runnable)
+	k.pol.Enqueue(p)
+	if k.OnSpawn != nil {
+		k.OnSpawn(p)
+	}
+	k.kickIdle()
+	return p
+}
+
+// procMain is the goroutine wrapper around a process body.
+func (k *Kernel) procMain(p *Process) {
+	defer k.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedError); ok {
+				return
+			}
+			panic(r)
+		}
+	}()
+	if _, ok := <-p.env.grant; !ok {
+		return
+	}
+	p.body(p.env)
+	p.env.req <- request{kind: reqExit}
+}
+
+// Shutdown unwinds the goroutines of all still-live processes. Call it
+// after the engine has returned from Run; it must not be called from an
+// event callback.
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		if p.state != Exited {
+			close(p.env.grant)
+		}
+	}
+	k.wg.Wait()
+}
+
+// advance resumes p's body until its next request and initializes the
+// request's progress state.
+func (k *Kernel) advance(p *Process) {
+	p.env.grant <- struct{}{}
+	p.pending = <-p.env.req
+	if p.pending.kind == reqCompute {
+		p.computeLeft = p.pending.dur
+	}
+}
+
+// setState transitions p, keeping time accounting.
+func (k *Kernel) setState(p *Process, next ProcState) {
+	old := p.state
+	now := k.eng.Now()
+	switch old {
+	case Runnable:
+		p.Stats.ReadyTime += now.Sub(p.readySince)
+	case Blocked:
+		p.Stats.BlockTime += now.Sub(p.blockSince)
+	}
+	p.state = next
+	switch next {
+	case Runnable:
+		p.readySince = now
+	case Blocked:
+		p.blockSince = now
+	}
+	if k.OnStateChange != nil {
+		k.OnStateChange(p, old, next)
+	}
+}
+
+// kickIdle dispatches every idle CPU, in index order.
+func (k *Kernel) kickIdle() {
+	for _, c := range k.cpus {
+		if c.running == nil {
+			k.dispatch(c)
+		}
+	}
+}
+
+// dispatch places the policy's next process on cpu and schedules its
+// execution after the dispatch overhead (context switch + cache reload).
+func (k *Kernel) dispatch(cpu *cpuState) {
+	if cpu.running != nil {
+		return
+	}
+	p := k.pol.PickNext(cpu.hw.ID())
+	now := k.eng.Now()
+	if p == nil {
+		if !cpu.idle {
+			cpu.idle = true
+			cpu.idleSince = now
+		}
+		return
+	}
+	if p.state != Runnable {
+		panic(fmt.Sprintf("kernel: policy %s picked %v", k.pol.Name(), p))
+	}
+	if cpu.idle {
+		cpu.idleTime += now.Sub(cpu.idleSince)
+		cpu.idle = false
+	}
+	cpu.running = p
+	p.cpu = cpu
+	p.lastCPU = cpu.hw.ID()
+	p.runStart = now
+	k.setState(p, Running) // after CPU assignment, so hooks see where
+	p.Stats.Dispatches++
+
+	sw, rl := cpu.hw.Dispatch(p.footprint(), p.workingSet)
+	p.Stats.SwitchTime += sw
+	p.Stats.ReloadTime += rl
+	overhead := sw + rl
+
+	q := k.pol.QuantumFor(p)
+	if q <= 0 {
+		q = k.cfg.Quantum
+	}
+	if k.cfg.QuantumJitter > 0 {
+		q += k.rng.Duration(0, k.cfg.QuantumJitter-1)
+	}
+	p.quantumEnd = now.Add(overhead + q)
+	epoch := p.epoch
+	k.eng.Schedule(p.quantumEnd, func() { k.quantumExpire(p, epoch) })
+	k.eng.Schedule(now.Add(overhead), func() {
+		if p.epoch == epoch && p.state == Running {
+			p.active = true
+			k.runProc(p)
+		}
+	})
+}
+
+// runProc processes p's pending coroutine requests at the current
+// instant until p blocks, spins, deschedules, or starts a timed compute.
+func (k *Kernel) runProc(p *Process) {
+	if !p.started {
+		p.started = true
+		k.advance(p)
+	}
+	if p.pendingDone {
+		// The previous request (sleep, yield) was satisfied while the
+		// process was off-CPU; capture the next one now.
+		p.pendingDone = false
+		k.advance(p)
+	}
+	for {
+		now := k.eng.Now()
+		switch r := p.pending; r.kind {
+		case reqCompute:
+			k.startComputeLeg(p)
+			return
+
+		case reqAcquire:
+			l := r.lock
+			switch {
+			case l.holder == p:
+				// Granted by a release while we were preempted or
+				// still paying dispatch overhead.
+				k.advance(p)
+			case l.holder == nil:
+				l.removeWaiter(p)
+				l.holder = p
+				l.lockedAt = now
+				l.Acquires++
+				p.lockDepth++
+				p.Stats.LockAcquires++
+				p.waitingLock = nil
+				k.advance(p)
+			default:
+				if p.waitingLock == nil {
+					p.waitingLock = l
+					l.addWaiter(p)
+					l.Contended++
+					p.Stats.LockSpins++
+				}
+				p.spinStart = now
+				return // spin: burn CPU until release or quantum expiry
+			}
+
+		case reqRelease:
+			l := r.lock
+			if l.holder != p {
+				panic(fmt.Sprintf("kernel: %v releasing %q held by %v", p, l.name, l.holder))
+			}
+			l.HeldTime += now.Sub(l.lockedAt)
+			p.lockDepth--
+			l.holder = nil
+			if w := l.firstRunningWaiter(); w != nil {
+				k.grantLock(l, w)
+			}
+			k.advance(p)
+
+		case reqSleep:
+			r.q.add(p)
+			p.sleepQ = r.q
+			k.unrun(p, Blocked)
+			return
+
+		case reqSleepFor:
+			d := r.dur
+			k.unrun(p, Blocked)
+			epoch := p.epoch
+			k.eng.After(d, func() {
+				if p.epoch != epoch || p.state != Blocked {
+					return
+				}
+				k.setState(p, Runnable)
+				p.pendingDone = true // the timed sleep is over
+				k.pol.Enqueue(p)
+				k.kickIdle()
+			})
+			return
+
+		case reqWake:
+			k.WakeQueue(r.q, r.n)
+			k.advance(p)
+
+		case reqYield:
+			// The yield is satisfied by descheduling; the body resumes
+			// past it at the next dispatch.
+			p.pendingDone = true
+			k.unrun(p, Runnable)
+			return
+
+		case reqExit:
+			k.exit(p)
+			return
+
+		default:
+			panic(fmt.Sprintf("kernel: %v issued unknown request %d", p, r.kind))
+		}
+	}
+}
+
+// startComputeLeg begins (or resumes) executing p's pending compute on
+// its current CPU. If the remaining work fits in the remaining quantum,
+// a completion event is scheduled; otherwise the quantum event will
+// preempt mid-compute. Called from runProc and again when a policy
+// extends the quantum (the completion may only now fit).
+func (k *Kernel) startComputeLeg(p *Process) {
+	now := k.eng.Now()
+	rem := p.quantumEnd.Sub(now)
+	p.computing = true
+	p.computeStart = now
+	p.computeSeq++
+	if p.computeLeft <= rem {
+		d := p.computeLeft
+		epoch := p.epoch
+		seq := p.computeSeq
+		k.eng.After(d, func() {
+			// The leg sequence guard rejects a completion superseded by
+			// a rescheduled leg (e.g. after a quantum extension whose
+			// expiry tied with this completion).
+			if p.epoch != epoch || p.state != Running || p.computeSeq != seq || !p.computing {
+				return
+			}
+			p.computing = false
+			p.computeLeft = 0
+			k.advance(p)
+			k.runProc(p)
+		})
+	}
+}
+
+// grantLock hands l to running waiter w and schedules w's continuation.
+func (k *Kernel) grantLock(l *SpinLock, w *Process) {
+	now := k.eng.Now()
+	l.removeWaiter(w)
+	l.holder = w
+	l.lockedAt = now
+	l.Acquires++
+	w.lockDepth++
+	w.Stats.LockAcquires++
+	w.Stats.SpinTime += now.Sub(w.spinStart)
+	w.waitingLock = nil
+	epoch := w.epoch
+	k.eng.Schedule(now, func() {
+		if w.epoch != epoch || w.state != Running {
+			return
+		}
+		k.advance(w)
+		k.runProc(w)
+	})
+}
+
+// WakeQueue unblocks up to n processes sleeping on q and returns how many
+// it woke. It is exported for simulation drivers (e.g. the central
+// server model) that act outside any process body.
+func (k *Kernel) WakeQueue(q *WaitQueue, n int) int {
+	woken := 0
+	for woken < n {
+		p := q.pop()
+		if p == nil {
+			break
+		}
+		p.sleepQ = nil
+		k.setState(p, Runnable)
+		// The Sleep request is satisfied; the body resumes past it at
+		// the next dispatch.
+		p.pendingDone = true
+		k.pol.Enqueue(p)
+		woken++
+	}
+	if woken > 0 {
+		k.kickIdle()
+	}
+	return woken
+}
+
+// quantumExpire fires at the end of p's time slice.
+func (k *Kernel) quantumExpire(p *Process, epoch uint64) {
+	if p.epoch != epoch || p.state != Running {
+		return
+	}
+	if ext := k.pol.OnQuantumExpire(p); ext > 0 {
+		now := k.eng.Now()
+		p.quantumEnd = now.Add(ext)
+		k.eng.Schedule(p.quantumEnd, func() { k.quantumExpire(p, epoch) })
+		if p.computing {
+			// Fold progress into the pending compute and reschedule:
+			// its completion may fit in the extended slice.
+			ran := now.Sub(p.computeStart)
+			p.computeLeft -= ran
+			if p.computeLeft < 0 {
+				p.computeLeft = 0
+			}
+			k.startComputeLeg(p)
+		}
+		return
+	}
+	k.Preempt(p)
+}
+
+// Preempt involuntarily deschedules a running process and requeues it.
+// Policies use it to implement gang or partition rescheduling.
+func (k *Kernel) Preempt(p *Process) {
+	if p.state != Running {
+		return
+	}
+	now := k.eng.Now()
+	if p.computing {
+		ran := now.Sub(p.computeStart)
+		p.computeLeft -= ran
+		if p.computeLeft < 0 {
+			p.computeLeft = 0
+		}
+		p.computing = false
+	}
+	if p.waitingLock != nil && p.active {
+		p.Stats.SpinTime += now.Sub(p.spinStart)
+	}
+	p.Stats.Preemptions++
+	k.unrun(p, Runnable)
+}
+
+// unrun takes a Running process off its CPU, transitions it to next, and
+// refills the CPU.
+func (k *Kernel) unrun(p *Process, next ProcState) {
+	now := k.eng.Now()
+	cpu := p.cpu
+	ran := now.Sub(p.runStart)
+	p.Stats.CPUTime += ran
+	p.usage += float64(ran)
+	cpu.hw.BusyTime += ran
+	p.epoch++
+	p.computing = false
+	p.active = false
+	cpu.running = nil
+	p.cpu = nil
+	k.setState(p, next)
+	if next == Runnable {
+		k.pol.Enqueue(p)
+	}
+	k.dispatch(cpu)
+}
+
+// exit terminates p.
+func (k *Kernel) exit(p *Process) {
+	if p.lockDepth != 0 {
+		panic(fmt.Sprintf("kernel: %v exited holding %d lock(s)", p, p.lockDepth))
+	}
+	if p.waitingLock != nil {
+		p.Stats.SpinTime += k.eng.Now().Sub(p.spinStart)
+		p.waitingLock.removeWaiter(p)
+		p.waitingLock = nil
+	}
+	k.unrun(p, Exited)
+	for _, c := range k.cpus {
+		c.hw.Evict(p.footprint())
+	}
+	k.nlive--
+	k.pol.OnExit(p)
+	if k.OnExit != nil {
+		k.OnExit(p)
+	}
+}
+
+// Finalize closes the accounting books at the end of a run: credits
+// trailing busy/idle periods so CPU utilization sums are exact. Call it
+// once after the engine returns.
+func (k *Kernel) Finalize() {
+	now := k.eng.Now()
+	for _, c := range k.cpus {
+		if c.running != nil {
+			p := c.running
+			ran := now.Sub(p.runStart)
+			p.Stats.CPUTime += ran
+			c.hw.BusyTime += ran
+			p.runStart = now
+		} else if c.idle {
+			c.idleTime += now.Sub(c.idleSince)
+			c.idleSince = now
+		}
+	}
+}
+
+// CPUIdleTime returns the accumulated idle time of processor i (valid
+// after Finalize).
+func (k *Kernel) CPUIdleTime(i int) sim.Duration { return k.cpus[i].idleTime }
+
+// RunningOn returns the process currently on processor i, or nil.
+func (k *Kernel) RunningOn(i int) *Process { return k.cpus[i].running }
+
+// CountByApp tallies each application's runnable processes — Runnable
+// and Running both count, matching the paper's "runnable processes" —
+// and, separately, the uncontrollable (AppNone) ones.
+func (k *Kernel) CountByApp() (perApp map[AppID]int, uncontrolled int) {
+	perApp = make(map[AppID]int)
+	for _, p := range k.procs {
+		if p.state != Runnable && p.state != Running {
+			continue
+		}
+		if p.app == AppNone {
+			uncontrolled++
+		} else {
+			perApp[p.app]++
+		}
+	}
+	return perApp, uncontrolled
+}

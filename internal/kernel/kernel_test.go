@@ -1,0 +1,405 @@
+package kernel
+
+import (
+	"testing"
+
+	"procctl/internal/machine"
+	"procctl/internal/sim"
+)
+
+// testKernel builds a kernel on a small frictionless machine (no cache,
+// no switch cost, no jitter) so tests can assert exact times.
+func testKernel(ncpu int) *Kernel {
+	eng := sim.NewEngine(1)
+	mac := machine.New(machine.Config{NumCPU: ncpu})
+	return New(eng, mac, NewTimeshare(), Config{Quantum: 100 * sim.Millisecond, QuantumJitter: -1})
+}
+
+// testKernelPolicy is testKernel with a specific policy.
+func testKernelPolicy(ncpu int, pol Policy, cfg Config) *Kernel {
+	eng := sim.NewEngine(1)
+	mac := machine.New(machine.Config{NumCPU: ncpu})
+	return New(eng, mac, pol, cfg)
+}
+
+func TestComputeExactDuration(t *testing.T) {
+	k := testKernel(1)
+	var finished sim.Time
+	k.Spawn("p", 1, 0, func(env *Env) {
+		env.Compute(30 * sim.Millisecond)
+		finished = env.Now()
+	})
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if finished != sim.Time(30*sim.Millisecond) {
+		t.Errorf("compute finished at %v, want 30ms", finished)
+	}
+}
+
+func TestComputeSurvivesPreemption(t *testing.T) {
+	// Two CPU-bound processes on one CPU: each needs 250 ms of CPU, so
+	// with perfect interleaving both finish within [500ms, 500ms+q].
+	k := testKernel(1)
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		k.Spawn("p", 1, 0, func(env *Env) {
+			env.Compute(250 * sim.Millisecond)
+			done = append(done, env.Now())
+		})
+	}
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if len(done) != 2 {
+		t.Fatalf("finished %d of 2", len(done))
+	}
+	last := done[1]
+	if done[0] > last {
+		last = done[0]
+	}
+	if last != sim.Time(500*sim.Millisecond) {
+		t.Errorf("total completion at %v, want exactly 500ms (no CPU lost)", last)
+	}
+	// The first finisher must have been preempted at least twice.
+	p := k.Processes()[0]
+	if p.Stats.Preemptions == 0 {
+		t.Error("no preemptions recorded on a shared CPU")
+	}
+}
+
+func TestQuantumExpiryRoundRobins(t *testing.T) {
+	k := testKernel(1)
+	var first *Process
+	k.Spawn("a", 1, 0, func(env *Env) { env.Compute(sim.Second) })
+	k.Spawn("b", 1, 0, func(env *Env) { env.Compute(sim.Second) })
+	k.Engine().Run(sim.Time(150 * sim.Millisecond))
+	// After one quantum (100 ms) the second process must have run.
+	first = k.Processes()[1]
+	if first.Stats.Dispatches == 0 {
+		t.Error("second process never dispatched after quantum expiry")
+	}
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+}
+
+func TestSleepWake(t *testing.T) {
+	k := testKernel(2)
+	q := NewWaitQueue("q")
+	var wokeAt sim.Time
+	k.Spawn("sleeper", 1, 0, func(env *Env) {
+		env.Sleep(q)
+		wokeAt = env.Now()
+	})
+	k.Spawn("waker", 1, 0, func(env *Env) {
+		env.Compute(40 * sim.Millisecond)
+		env.Wake(q, 1)
+	})
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if wokeAt != sim.Time(40*sim.Millisecond) {
+		t.Errorf("woke at %v, want 40ms", wokeAt)
+	}
+	sleeper := k.Processes()[0]
+	if sleeper.Stats.BlockTime == 0 {
+		t.Error("sleeper accumulated no block time")
+	}
+	if sleeper.Stats.CPUTime > 5*sim.Millisecond {
+		t.Errorf("sleeper burned %v CPU while blocked", sleeper.Stats.CPUTime)
+	}
+}
+
+func TestWakeFIFOOrder(t *testing.T) {
+	k := testKernel(4)
+	q := NewWaitQueue("q")
+	var order []PID
+	for i := 0; i < 3; i++ {
+		d := sim.Duration(i+1) * sim.Millisecond
+		k.Spawn("s", 1, 0, func(env *Env) {
+			env.Compute(d) // stagger arrival on the queue
+			env.Sleep(q)
+			order = append(order, env.Proc().ID())
+		})
+	}
+	k.Spawn("waker", 1, 0, func(env *Env) {
+		env.Compute(10 * sim.Millisecond)
+		for i := 0; i < 3; i++ {
+			env.Wake(q, 1)
+			env.Compute(sim.Millisecond)
+		}
+	})
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if len(order) != 3 {
+		t.Fatalf("woke %d of 3", len(order))
+	}
+	for i := 1; i < 3; i++ {
+		if order[i] < order[i-1] {
+			t.Errorf("wake order not FIFO: %v", order)
+		}
+	}
+}
+
+func TestWakeMoreThanSleeping(t *testing.T) {
+	k := testKernel(2)
+	q := NewWaitQueue("q")
+	woke := false
+	k.Spawn("s", 1, 0, func(env *Env) {
+		env.Sleep(q)
+		woke = true
+	})
+	k.Spawn("w", 1, 0, func(env *Env) {
+		env.Compute(sim.Millisecond)
+		env.Wake(q, 100) // only one sleeper exists
+	})
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if !woke {
+		t.Error("sleeper not woken")
+	}
+}
+
+func TestSleepFor(t *testing.T) {
+	k := testKernel(1)
+	var resumed sim.Time
+	k.Spawn("p", 1, 0, func(env *Env) {
+		env.Compute(10 * sim.Millisecond)
+		env.SleepFor(50 * sim.Millisecond)
+		resumed = env.Now()
+		env.Compute(5 * sim.Millisecond)
+	})
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if resumed != sim.Time(60*sim.Millisecond) {
+		t.Errorf("resumed at %v, want 60ms", resumed)
+	}
+}
+
+func TestSleepForFreesCPU(t *testing.T) {
+	k := testKernel(1)
+	var otherDone sim.Time
+	k.Spawn("sleeper", 1, 0, func(env *Env) {
+		env.SleepFor(sim.Second)
+	})
+	k.Spawn("worker", 2, 0, func(env *Env) {
+		env.Compute(50 * sim.Millisecond)
+		otherDone = env.Now()
+	})
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if otherDone > sim.Time(51*sim.Millisecond) {
+		t.Errorf("worker blocked by a sleeping process until %v", otherDone)
+	}
+}
+
+func TestYield(t *testing.T) {
+	k := testKernel(1)
+	var order []string
+	k.Spawn("a", 1, 0, func(env *Env) {
+		env.Compute(sim.Millisecond)
+		env.Yield()
+		order = append(order, "a")
+	})
+	k.Spawn("b", 1, 0, func(env *Env) {
+		env.Compute(sim.Millisecond)
+		order = append(order, "b")
+	})
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if len(order) != 2 || order[0] != "b" {
+		t.Errorf("yield did not hand over the CPU: order %v", order)
+	}
+}
+
+func TestExitAccounting(t *testing.T) {
+	k := testKernel(2)
+	p := k.Spawn("p", 1, 0, func(env *Env) {
+		env.Compute(10 * sim.Millisecond)
+	})
+	if k.Live() != 1 {
+		t.Fatalf("Live = %d", k.Live())
+	}
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if p.State() != Exited {
+		t.Errorf("state %v, want exited", p.State())
+	}
+	if k.Live() != 0 {
+		t.Errorf("Live = %d after exit", k.Live())
+	}
+	if p.Stats.CPUTime != 10*sim.Millisecond {
+		t.Errorf("CPUTime = %v, want 10ms", p.Stats.CPUTime)
+	}
+}
+
+func TestExitHoldingLockPanics(t *testing.T) {
+	k := testKernel(1)
+	l := NewSpinLock("l")
+	k.Spawn("bad", 1, 0, func(env *Env) {
+		env.Acquire(l)
+		// exit without release
+	})
+	defer func() {
+		k.Shutdown()
+		if recover() == nil {
+			t.Error("exit holding a lock did not panic")
+		}
+	}()
+	k.Engine().RunUntilIdle()
+}
+
+func TestReleaseNotHeldPanics(t *testing.T) {
+	k := testKernel(1)
+	l := NewSpinLock("l")
+	k.Spawn("bad", 1, 0, func(env *Env) {
+		env.Release(l)
+	})
+	defer func() {
+		k.Shutdown()
+		if recover() == nil {
+			t.Error("release of unheld lock did not panic")
+		}
+	}()
+	k.Engine().RunUntilIdle()
+}
+
+func TestCPUAccountingBalances(t *testing.T) {
+	// On a 2-CPU machine with 4 CPU-bound processes, busy + idle time
+	// must equal elapsed × NumCPU after Finalize.
+	k := testKernel(2)
+	for i := 0; i < 4; i++ {
+		k.Spawn("p", 1, 0, func(env *Env) {
+			env.Compute(70 * sim.Millisecond)
+		})
+	}
+	end := k.Engine().RunUntilIdle()
+	k.Finalize()
+	k.Shutdown()
+	var busy, idle sim.Duration
+	for i := 0; i < k.NumCPU(); i++ {
+		busy += k.Machine().CPU(i).BusyTime
+		idle += k.CPUIdleTime(i)
+	}
+	total := sim.Duration(end) * sim.Duration(k.NumCPU())
+	if busy+idle != total {
+		t.Errorf("busy %v + idle %v != elapsed×cpus %v", busy, idle, total)
+	}
+	if busy != 4*70*sim.Millisecond {
+		t.Errorf("busy %v, want 280ms", busy)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []sim.Duration {
+		eng := sim.NewEngine(99)
+		mac := machine.New(machine.Multimax16())
+		k := New(eng, mac, NewTimeshare(), DefaultConfig())
+		l := NewSpinLock("shared")
+		for i := 0; i < 20; i++ {
+			k.Spawn("p", AppID(1+i%3), 64<<10, func(env *Env) {
+				for j := 0; j < 10; j++ {
+					env.Compute(env.Rand().Duration(sim.Millisecond, 5*sim.Millisecond))
+					env.Acquire(l)
+					env.Compute(100 * sim.Microsecond)
+					env.Release(l)
+				}
+			})
+		}
+		eng.RunUntilIdle()
+		k.Shutdown()
+		var out []sim.Duration
+		for _, p := range k.Processes() {
+			out = append(out, p.Stats.CPUTime, p.Stats.SpinTime, p.Stats.ReadyTime)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at stat %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCountByApp(t *testing.T) {
+	k := testKernel(8)
+	q := NewWaitQueue("q")
+	k.Spawn("bg", AppNone, 0, func(env *Env) { env.Compute(sim.Second) })
+	for i := 0; i < 3; i++ {
+		k.Spawn("a1", 1, 0, func(env *Env) { env.Compute(sim.Second) })
+	}
+	k.Spawn("a2-blocked", 2, 0, func(env *Env) { env.Sleep(q) })
+	k.Engine().Run(sim.Time(10 * sim.Millisecond))
+	perApp, un := k.CountByApp()
+	if un != 1 {
+		t.Errorf("uncontrolled = %d, want 1", un)
+	}
+	if perApp[1] != 3 {
+		t.Errorf("app 1 = %d, want 3", perApp[1])
+	}
+	if perApp[2] != 0 {
+		t.Errorf("app 2 = %d, want 0 (blocked doesn't count)", perApp[2])
+	}
+	// The sleeper never exits; bound the run instead of waiting for idle.
+	k.Engine().Run(sim.Time(2 * sim.Second))
+	k.Shutdown()
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	k := testKernel(2)
+	var childDone bool
+	k.Engine().Schedule(sim.Time(50*sim.Millisecond), func() {
+		k.Spawn("late", 1, 0, func(env *Env) {
+			env.Compute(10 * sim.Millisecond)
+			childDone = true
+		})
+	})
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	if !childDone {
+		t.Error("process spawned from an event never ran")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	k := testKernel(1)
+	p := k.Spawn("p", 1, 0, func(env *Env) {})
+	if k.Lookup(p.ID()) != p {
+		t.Error("Lookup failed")
+	}
+	if k.Lookup(9999) != nil {
+		t.Error("Lookup of unknown PID returned a process")
+	}
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+}
+
+func TestStateChangeHook(t *testing.T) {
+	k := testKernel(1)
+	var transitions []ProcState
+	k.OnStateChange = func(p *Process, old, next ProcState) {
+		transitions = append(transitions, next)
+	}
+	k.Spawn("p", 1, 0, func(env *Env) { env.Compute(sim.Millisecond) })
+	k.Engine().RunUntilIdle()
+	k.Shutdown()
+	want := []ProcState{Runnable, Running, Exited}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestProcStateString(t *testing.T) {
+	cases := map[ProcState]string{
+		Embryo: "embryo", Runnable: "runnable", Running: "running",
+		Blocked: "blocked", Exited: "exited", ProcState(42): "ProcState(42)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}

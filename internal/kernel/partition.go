@@ -1,0 +1,248 @@
+package kernel
+
+import "procctl/internal/sim"
+
+// ownerNone marks a processor not assigned to any group.
+const ownerNone AppID = -1
+
+// Partition is the paper's Section 7 proposal: the machine's processors
+// are dynamically divided into processor groups, normally one per
+// application (uncontrollable/system processes share the AppNone group).
+// A high-level policy module periodically decides how many processors
+// each group gets — equal shares capped by demand, every active group at
+// least one — and each group schedules its own run queue on its own
+// processors. Controlled and uncontrolled applications can no longer
+// steal processors from each other, and processes stay on processors
+// that hold their application's working sets.
+type Partition struct {
+	// Interval is the policy module's repartition period (default 250 ms).
+	Interval sim.Duration
+	// Backfill lets a processor whose group queue is empty run work
+	// from the longest other queue rather than idle (default true; set
+	// false for strict isolation).
+	Backfill bool
+
+	k      *Kernel
+	queues map[AppID]*fifoQueue
+	order  []AppID // group creation order, for deterministic iteration
+	owner  []AppID // CPU index -> owning group
+
+	Repartitions int64 // stat: times the assignment changed
+}
+
+// NewPartition returns the policy with default parameters.
+func NewPartition() *Partition { return &Partition{Backfill: true} }
+
+// Name implements Policy.
+func (g *Partition) Name() string { return "partition" }
+
+// Attach implements Policy.
+func (g *Partition) Attach(k *Kernel) {
+	g.k = k
+	if g.Interval <= 0 {
+		g.Interval = 250 * sim.Millisecond
+	}
+	g.queues = make(map[AppID]*fifoQueue)
+	g.owner = make([]AppID, k.NumCPU())
+	for i := range g.owner {
+		g.owner[i] = ownerNone
+	}
+	k.Engine().Every(g.Interval, func() bool {
+		g.repartition()
+		return k.Live() > 0
+	})
+}
+
+func (g *Partition) queue(app AppID) *fifoQueue {
+	q, ok := g.queues[app]
+	if !ok {
+		q = &fifoQueue{}
+		g.queues[app] = q
+		g.order = append(g.order, app)
+	}
+	return q
+}
+
+// Enqueue implements Policy.
+func (g *Partition) Enqueue(p *Process) {
+	g.queue(p.app).push(p)
+	// A brand-new group gets processors at the next repartition; do it
+	// eagerly when the group has no processor at all so arrival latency
+	// is not a full Interval.
+	if g.cpuCount(p.app) == 0 {
+		g.repartition()
+	}
+}
+
+func (g *Partition) cpuCount(app AppID) int {
+	n := 0
+	for _, o := range g.owner {
+		if o == app {
+			n++
+		}
+	}
+	return n
+}
+
+// demand returns per-group demand in group creation order. Demand is
+// the number of *live* (non-exited) processes: sizing groups by live
+// rather than currently-runnable processes keeps the partition stable
+// when process control suspends workers — otherwise the partition and
+// the central server chase each other's reductions down to one
+// processor (a feedback spiral; see the Section 7 experiment).
+func (g *Partition) demand() ([]AppID, map[AppID]int) {
+	d := make(map[AppID]int)
+	for _, p := range g.k.Processes() {
+		if p.state != Exited {
+			d[p.app]++
+		}
+	}
+	var active []AppID
+	for _, app := range g.order {
+		if d[app] > 0 {
+			active = append(active, app)
+		}
+	}
+	// Apps can have demand before their first Enqueue reaches us only
+	// via Running processes, which implies a prior Enqueue; so g.order
+	// covers every app with demand.
+	return active, d
+}
+
+// repartition recomputes processor ownership: equal shares capped by
+// demand, minimum one processor per active group, leftovers to the
+// groups with the most unmet demand.
+func (g *Partition) repartition() {
+	active, dem := g.demand()
+	ncpu := g.k.NumCPU()
+	target := make(map[AppID]int)
+	if len(active) > 0 {
+		assign := equalShares(ncpu, active, dem)
+		for i, app := range active {
+			target[app] = assign[i]
+		}
+	}
+
+	changed := false
+	// Release processors from groups over target (highest index first)
+	// and from inactive groups.
+	over := make(map[AppID]int)
+	for _, app := range active {
+		over[app] = g.cpuCount(app) - target[app]
+	}
+	for i := ncpu - 1; i >= 0; i-- {
+		o := g.owner[i]
+		if o == ownerNone {
+			continue
+		}
+		if target[o] == 0 || over[o] > 0 {
+			if over[o] > 0 {
+				over[o]--
+			}
+			g.owner[i] = ownerNone
+			changed = true
+		}
+	}
+	// Grant free processors to groups under target, in creation order.
+	for _, app := range active {
+		need := target[app] - g.cpuCount(app)
+		for i := 0; i < ncpu && need > 0; i++ {
+			if g.owner[i] == ownerNone {
+				g.owner[i] = app
+				need--
+				changed = true
+			}
+		}
+	}
+	if changed {
+		g.Repartitions++
+	}
+
+	// Evict running processes from processors their group no longer owns.
+	for i := 0; i < ncpu; i++ {
+		if p := g.k.RunningOn(i); p != nil && g.owner[i] != p.app {
+			g.k.Preempt(p)
+		}
+	}
+	g.k.kickIdle()
+}
+
+// equalShares splits ncpu among the active groups: one each first, then
+// round-robin while demand remains, never exceeding a group's demand
+// unless every group is saturated.
+func equalShares(ncpu int, active []AppID, dem map[AppID]int) []int {
+	n := len(active)
+	out := make([]int, n)
+	left := ncpu
+	// Starvation floor.
+	for i := range active {
+		if left == 0 {
+			break
+		}
+		out[i] = 1
+		left--
+	}
+	// Round-robin up to demand.
+	for left > 0 {
+		gave := false
+		for i, app := range active {
+			if left == 0 {
+				break
+			}
+			if out[i] < dem[app] {
+				out[i]++
+				left--
+				gave = true
+			}
+		}
+		if !gave {
+			break // everyone saturated; leave the rest idle
+		}
+	}
+	return out
+}
+
+// PickNext implements Policy: the owning group's queue first; with
+// Backfill, the longest other queue.
+func (g *Partition) PickNext(cpu int) *Process {
+	own := g.owner[cpu]
+	if own != ownerNone {
+		if p := g.queues[own].pop(); p != nil {
+			return p
+		}
+	}
+	if !g.Backfill {
+		return nil
+	}
+	var best *fifoQueue
+	for _, app := range g.order {
+		q := g.queues[app]
+		if q.len() > 0 && (best == nil || q.len() > best.len()) {
+			best = q
+		}
+	}
+	if best != nil {
+		return best.pop()
+	}
+	return nil
+}
+
+// OnQuantumExpire implements Policy: always preempt (round-robin within
+// the group).
+func (g *Partition) OnQuantumExpire(p *Process) sim.Duration { return 0 }
+
+// QuantumFor implements Policy: kernel default.
+func (g *Partition) QuantumFor(p *Process) sim.Duration { return 0 }
+
+// OnExit implements Policy.
+func (g *Partition) OnExit(p *Process) {}
+
+// Owner reports which group owns processor i (ownerNone if none); for
+// tests and traces.
+func (g *Partition) Owner(i int) AppID { return g.owner[i] }
+
+// CPUsOf reports how many processors app's group currently owns. The
+// central server uses it (via ctrl.PartitionSizer) to align
+// process-control targets with the partition, realizing the paper's
+// Section 7 integration of the two mechanisms.
+func (g *Partition) CPUsOf(app AppID) int { return g.cpuCount(app) }

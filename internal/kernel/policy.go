@@ -1,0 +1,88 @@
+package kernel
+
+import "procctl/internal/sim"
+
+// Policy is a pluggable multiprocessor scheduling discipline. The kernel
+// calls Enqueue when a process becomes runnable, PickNext when a
+// processor needs work, OnQuantumExpire when a slice ends, and OnExit
+// when a process terminates.
+//
+// Invariants the kernel guarantees: a process given to Enqueue is
+// Runnable and stays Runnable until the policy returns it from PickNext;
+// each Enqueue is matched by at most one PickNext return; the same
+// process is never queued twice.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// Attach is called once, before any scheduling, letting the policy
+	// capture the kernel and install periodic events.
+	Attach(k *Kernel)
+
+	// Enqueue adds a runnable process to the policy's queue(s).
+	Enqueue(p *Process)
+
+	// PickNext removes and returns the next process to run on the given
+	// processor, or nil if the policy has nothing for it.
+	PickNext(cpu int) *Process
+
+	// OnQuantumExpire is consulted when p's time slice ends. A positive
+	// return extends the slice by that amount instead of preempting
+	// (the spin-flag policy uses this); zero preempts normally.
+	OnQuantumExpire(p *Process) sim.Duration
+
+	// QuantumFor returns the time slice for p; zero selects the kernel
+	// default.
+	QuantumFor(p *Process) sim.Duration
+
+	// OnExit tells the policy a process has terminated (it is never in
+	// the queue at that point).
+	OnExit(p *Process)
+}
+
+// fifoQueue is a deterministic FIFO of runnable processes used as a
+// building block by several policies.
+type fifoQueue struct {
+	procs []*Process
+}
+
+func (q *fifoQueue) push(p *Process) { q.procs = append(q.procs, p) }
+func (q *fifoQueue) len() int        { return len(q.procs) }
+func (q *fifoQueue) peek() *Process {
+	if len(q.procs) == 0 {
+		return nil
+	}
+	return q.procs[0]
+}
+
+func (q *fifoQueue) pop() *Process {
+	if len(q.procs) == 0 {
+		return nil
+	}
+	p := q.procs[0]
+	q.procs[0] = nil
+	q.procs = q.procs[1:]
+	return p
+}
+
+// remove deletes p if present, preserving order, and reports success.
+func (q *fifoQueue) remove(p *Process) bool {
+	for i, x := range q.procs {
+		if x == p {
+			q.procs = append(q.procs[:i], q.procs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// popWhere removes and returns the first process satisfying pred, or nil.
+func (q *fifoQueue) popWhere(pred func(*Process) bool) *Process {
+	for i, x := range q.procs {
+		if pred(x) {
+			q.procs = append(q.procs[:i], q.procs[i+1:]...)
+			return x
+		}
+	}
+	return nil
+}

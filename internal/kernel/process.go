@@ -1,0 +1,310 @@
+// Package kernel simulates the operating-system layer of a multiprogrammed
+// shared-memory multiprocessor: kernel processes, preemptive scheduling
+// with time quanta, spinlocks whose waiters burn CPU, and sleep/wakeup
+// queues (the paper's signal-based suspension).
+//
+// Simulated process bodies are ordinary Go functions run as coroutines:
+// each body runs on its own goroutine but in strict alternation with the
+// simulation engine (exactly one of them executes at any moment), so
+// bodies may freely share data structures and the simulation stays
+// deterministic. A body interacts with the machine only through its Env:
+// Compute consumes CPU time, Acquire/Release operate a spinlock, Sleep and
+// Wake block and unblock on a wait queue, Yield surrenders the processor.
+package kernel
+
+import (
+	"fmt"
+
+	"procctl/internal/machine"
+	"procctl/internal/sim"
+)
+
+// AppID identifies the application a process belongs to. AppNone marks
+// system or otherwise uncontrollable processes.
+type AppID int
+
+// AppNone is the AppID of processes that belong to no controlled
+// application (compilers, editors, daemons in the paper's terms).
+const AppNone AppID = 0
+
+// ProcState is the scheduling state of a process.
+type ProcState int
+
+// Process states. A process is created Embryo, becomes Runnable when
+// spawned, alternates Runnable/Running under the scheduler, is Blocked
+// while sleeping on a wait queue, and ends Exited.
+const (
+	Embryo ProcState = iota
+	Runnable
+	Running
+	Blocked
+	Exited
+)
+
+// String returns the conventional name of the state.
+func (s ProcState) String() string {
+	switch s {
+	case Embryo:
+		return "embryo"
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Exited:
+		return "exited"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// PID is a kernel process identifier.
+type PID int64
+
+// ProcStats accumulates per-process accounting, all in virtual time.
+type ProcStats struct {
+	CPUTime    sim.Duration // total time on a processor (incl. spin, reload)
+	SpinTime   sim.Duration // CPU time burned spinning on held locks
+	ReloadTime sim.Duration // CPU time refilling corrupted caches
+	SwitchTime sim.Duration // context-switch overhead charged to dispatches
+	ReadyTime  sim.Duration // time spent runnable but not running
+	BlockTime  sim.Duration // time spent asleep on wait queues
+
+	Dispatches   int64 // times placed on a CPU
+	Preemptions  int64 // involuntary descheduled (quantum expiry or forced)
+	LockAcquires int64
+	LockSpins    int64 // acquisitions that had to wait
+}
+
+// Process is a kernel-schedulable entity (the paper's "process": a
+// preemptively scheduled, memory-sharing execution vehicle).
+type Process struct {
+	id   PID
+	name string
+	app  AppID
+
+	state ProcState
+	body  func(*Env)
+	env   *Env
+
+	workingSet int64 // cache footprint in bytes
+
+	// Scheduling state owned by the kernel.
+	cpu         *cpuState // non-nil while Running
+	epoch       uint64    // bumped on every deschedule; guards stale events
+	started     bool      // body prefix has run
+	active      bool      // dispatch overhead paid; actually executing
+	pendingDone bool      // pending request satisfied while off-CPU
+	runStart    sim.Time  // instant of current dispatch
+	readySince  sim.Time
+	blockSince  sim.Time
+	quantumEnd  sim.Time
+
+	// Pending coroutine request not yet satisfied.
+	pending request
+
+	// Compute progress for the current Compute request.
+	computeLeft  sim.Duration
+	computeStart sim.Time // when the current compute leg began running
+	computing    bool     // a compute leg is in progress on a CPU
+	computeSeq   uint64   // bumped per compute leg; guards stale completions
+
+	// Spin state.
+	waitingLock *SpinLock
+	spinStart   sim.Time
+
+	// Sleep state.
+	sleepQ *WaitQueue
+
+	// Policy-visible state.
+	usage     float64 // decayed CPU usage (BSD-style)
+	priority  int
+	lastCPU   int
+	lockDepth int // spinlocks currently held (spin-flag policy reads this)
+
+	// Stats is the accounting record; read it after the simulation.
+	Stats ProcStats
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() PID { return p.id }
+
+// Name returns the debug name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// App returns the owning application, or AppNone.
+func (p *Process) App() AppID { return p.app }
+
+// State returns the current scheduling state.
+func (p *Process) State() ProcState { return p.state }
+
+// WorkingSet returns the cache footprint in bytes.
+func (p *Process) WorkingSet() int64 { return p.workingSet }
+
+// LastCPU returns the index of the CPU the process last ran on, or -1.
+func (p *Process) LastCPU() int { return p.lastCPU }
+
+// Usage returns the policy-maintained decayed CPU usage estimate.
+func (p *Process) Usage() float64 { return p.usage }
+
+// Priority returns the policy-maintained priority (lower is better).
+func (p *Process) Priority() int { return p.priority }
+
+// HoldingLocks reports whether the process currently holds any spinlock.
+func (p *Process) HoldingLocks() bool { return p.lockDepth > 0 }
+
+// Spinning reports whether the process is busy-waiting for a spinlock.
+func (p *Process) Spinning() bool { return p.waitingLock != nil }
+
+func (p *Process) String() string {
+	return fmt.Sprintf("proc %d (%s, app %d, %s)", p.id, p.name, p.app, p.state)
+}
+
+// footprint returns the cache footprint identity for the machine model.
+func (p *Process) footprint() machine.FootprintID {
+	return machine.FootprintID(p.id)
+}
+
+type reqKind int
+
+const (
+	reqNone reqKind = iota
+	reqCompute
+	reqAcquire
+	reqRelease
+	reqSleep
+	reqSleepFor
+	reqWake
+	reqYield
+	reqExit
+)
+
+type request struct {
+	kind reqKind
+	dur  sim.Duration // reqCompute
+	lock *SpinLock    // reqAcquire, reqRelease
+	q    *WaitQueue   // reqSleep, reqWake
+	n    int          // reqWake: how many to wake
+}
+
+// errKilled unwinds a process goroutine when the kernel shuts down.
+type killedError struct{}
+
+func (killedError) Error() string { return "kernel: process killed at shutdown" }
+
+// Env is a simulated process's handle to the machine. All methods must be
+// called only from the process body's goroutine.
+type Env struct {
+	p     *Process
+	k     *Kernel
+	req   chan request
+	grant chan struct{}
+	rng   *sim.RNG
+}
+
+// do performs the rendezvous: hand the request to the kernel and wait for
+// it to be satisfied.
+func (e *Env) do(r request) {
+	e.req <- r
+	if _, ok := <-e.grant; !ok {
+		panic(killedError{})
+	}
+}
+
+// Proc returns the process this environment belongs to.
+func (e *Env) Proc() *Process { return e.p }
+
+// Kernel returns the owning kernel (for read-only inspection).
+func (e *Env) Kernel() *Kernel { return e.k }
+
+// Now returns the current virtual time. Bodies only execute while the
+// engine is parked, so the read is race-free.
+func (e *Env) Now() sim.Time { return e.k.eng.Now() }
+
+// Rand returns the process's private random stream.
+func (e *Env) Rand() *sim.RNG { return e.rng }
+
+// Compute consumes d of CPU time. The call returns when the process has
+// accumulated d of execution, however many preemptions that takes.
+// Non-positive durations return immediately.
+func (e *Env) Compute(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.do(request{kind: reqCompute, dur: d})
+}
+
+// Acquire takes the spinlock, busy-waiting (and burning CPU) while it is
+// held by another process. Only running processes can win a released
+// lock; a waiter that is preempted resumes spinning when redispatched.
+func (e *Env) Acquire(l *SpinLock) {
+	e.do(request{kind: reqAcquire, lock: l})
+}
+
+// Release unlocks a spinlock held by this process. Releasing a lock the
+// process does not hold panics: it is always a model bug.
+func (e *Env) Release(l *SpinLock) {
+	e.do(request{kind: reqRelease, lock: l})
+}
+
+// Sleep blocks the process on q until another process wakes it. The
+// process consumes no CPU while asleep. This is the simulation analogue
+// of the paper's "wait for a signal that will not ordinarily be
+// generated".
+func (e *Env) Sleep(q *WaitQueue) {
+	e.do(request{kind: reqSleep, q: q})
+}
+
+// SleepFor blocks the process for d of virtual time without consuming
+// CPU (e.g. waiting for terminal input or a timer). Non-positive
+// durations return immediately.
+func (e *Env) SleepFor(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.do(request{kind: reqSleepFor, dur: d})
+}
+
+// Wake unblocks up to n processes sleeping on q, in FIFO order.
+func (e *Env) Wake(q *WaitQueue, n int) {
+	if n <= 0 {
+		return
+	}
+	e.do(request{kind: reqWake, q: q, n: n})
+}
+
+// Yield surrenders the processor, moving the process to the back of the
+// run queue.
+func (e *Env) Yield() {
+	e.do(request{kind: reqYield})
+}
+
+// DebugPending describes the process's unsatisfied request — for tests
+// and diagnostics only.
+func (p *Process) DebugPending() string {
+	switch p.pending.kind {
+	case reqCompute:
+		return fmt.Sprintf("compute(left=%v, computing=%v)", p.computeLeft, p.computing)
+	case reqAcquire:
+		return fmt.Sprintf("acquire(%s)", p.pending.lock.name)
+	case reqRelease:
+		return fmt.Sprintf("release(%s)", p.pending.lock.name)
+	case reqSleep:
+		return "sleep"
+	case reqSleepFor:
+		return "sleepfor"
+	case reqWake:
+		return "wake"
+	case reqYield:
+		return "yield"
+	case reqExit:
+		return "exit"
+	default:
+		return "none"
+	}
+}
+
+// Active reports whether the process is past its dispatch overhead and
+// actually executing instructions (diagnostics).
+func (p *Process) Active() bool { return p.active }

@@ -1,0 +1,84 @@
+package kernel
+
+import "procctl/internal/sim"
+
+// SpinFlag is the Zahorjan et al. scheduler from the paper's Section 3:
+// a time-sharing policy that (i) refuses to preempt a process while it
+// holds a spinlock (the process "sets a flag" when entering a critical
+// section — here the kernel reads lockDepth directly), and (ii) avoids
+// dispatching a process that would only spin on a lock whose holder is
+// not running.
+//
+// The paper's criticisms are visible in this model: every lock holder is
+// exempt from preemption even when holders are independent (the hash
+// table example), and neither context-switch overhead nor cache
+// corruption improves.
+type SpinFlag struct {
+	// Extension is how much extra time a flagged process gets each time
+	// its quantum expires inside a critical section (default 2 ms).
+	Extension sim.Duration
+	// MaxExtensions bounds consecutive extensions so a buggy or greedy
+	// process cannot monopolize a CPU (default 50).
+	MaxExtensions int
+
+	k          *Kernel
+	q          fifoQueue
+	extensions map[PID]int
+}
+
+// NewSpinFlag returns the policy with default parameters.
+func NewSpinFlag() *SpinFlag { return &SpinFlag{} }
+
+// Name implements Policy.
+func (s *SpinFlag) Name() string { return "spinflag" }
+
+// Attach implements Policy.
+func (s *SpinFlag) Attach(k *Kernel) {
+	s.k = k
+	if s.Extension <= 0 {
+		s.Extension = 2 * sim.Millisecond
+	}
+	if s.MaxExtensions <= 0 {
+		s.MaxExtensions = 50
+	}
+	s.extensions = make(map[PID]int)
+}
+
+// Enqueue implements Policy.
+func (s *SpinFlag) Enqueue(p *Process) { s.q.push(p) }
+
+// PickNext implements Policy: FIFO, but skip processes that would
+// immediately spin on a lock whose holder is off-processor.
+func (s *SpinFlag) PickNext(cpu int) *Process {
+	p := s.q.popWhere(func(p *Process) bool {
+		l := p.waitingLock
+		if l == nil || l.holder == nil {
+			return true
+		}
+		return l.holder.state == Running
+	})
+	if p == nil {
+		// Everyone queued is a doomed spinner; run the FIFO head anyway
+		// rather than idling the machine (the holder may be queued on
+		// another CPU and about to run).
+		p = s.q.pop()
+	}
+	return p
+}
+
+// OnQuantumExpire implements Policy: extend the slice while the process
+// holds a lock, up to MaxExtensions times.
+func (s *SpinFlag) OnQuantumExpire(p *Process) sim.Duration {
+	if p.lockDepth > 0 && s.extensions[p.id] < s.MaxExtensions {
+		s.extensions[p.id]++
+		return s.Extension
+	}
+	delete(s.extensions, p.id)
+	return 0
+}
+
+// QuantumFor implements Policy: kernel default.
+func (s *SpinFlag) QuantumFor(p *Process) sim.Duration { return 0 }
+
+// OnExit implements Policy.
+func (s *SpinFlag) OnExit(p *Process) { delete(s.extensions, p.id) }

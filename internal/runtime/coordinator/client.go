@@ -1,0 +1,151 @@
+package coordinator
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// DefaultPollInterval matches the paper's 6-second application poll.
+const DefaultPollInterval = 6 * time.Second
+
+// Client is an application's connection to a coordinator daemon.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a coordinator daemon, e.g. Dial("unix",
+// "/run/procctld.sock") or Dial("tcp", "localhost:7717").
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: dial %s %s: %w", network, addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}
+}
+
+// Close drops the connection; the daemon unregisters this client's
+// applications.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response. The protocol is
+// strictly request/response per connection, guarded by the mutex.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("coordinator: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("coordinator: receive: %w", err)
+	}
+	if !resp.OK {
+		return nil, errors.New("coordinator: " + resp.Error)
+	}
+	return &resp, nil
+}
+
+// Register announces an application with the given process count and
+// returns its initial target.
+func (c *Client) Register(app string, procs int) (int, error) {
+	resp, err := c.roundTrip(&Request{Op: OpRegister, App: app, Procs: procs})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Target, nil
+}
+
+// Poll returns the application's current target.
+func (c *Client) Poll(app string) (int, error) {
+	resp, err := c.roundTrip(&Request{Op: OpPoll, App: app})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Target, nil
+}
+
+// Unregister withdraws the application.
+func (c *Client) Unregister(app string) error {
+	_, err := c.roundTrip(&Request{Op: OpUnregister, App: app})
+	return err
+}
+
+// SetExternalLoad reports uncontrollable load to the daemon.
+func (c *Client) SetExternalLoad(n int) error {
+	_, err := c.roundTrip(&Request{Op: OpSetLoad, Load: n})
+	return err
+}
+
+// Status fetches the daemon's state snapshot.
+func (c *Client) Status() (*Status, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStatus})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == nil {
+		return nil, errors.New("coordinator: empty status")
+	}
+	return resp.Status, nil
+}
+
+// Targeter accepts targets; *pool.Pool satisfies it.
+type Targeter interface {
+	SetTarget(n int)
+}
+
+// Drive registers the application and then polls every interval,
+// applying each target to t — the paper's poll loop, run for the caller.
+// It returns a stop function that unregisters and ends the loop.
+func (c *Client) Drive(app string, procs int, t Targeter, interval time.Duration) (stop func(), err error) {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	target, err := c.Register(app, procs)
+	if err != nil {
+		return nil, err
+	}
+	t.SetTarget(target)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if target, err := c.Poll(app); err == nil {
+					t.SetTarget(target)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			_ = c.Unregister(app)
+		})
+	}, nil
+}

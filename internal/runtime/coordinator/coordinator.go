@@ -1,0 +1,249 @@
+// Package coordinator is the paper's centralized server for real Go
+// programs: it divides a fixed processor capacity fairly among
+// registered adaptive pools (internal/runtime/pool) using the allocation
+// policy in internal/core, pushing targets to in-process members and
+// serving polled targets to remote ones over a JSON-lines socket
+// protocol — the modern analogue of the paper's UMAX socket IPC.
+package coordinator
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"procctl/internal/core"
+)
+
+// Member is a controllable application: anything that can accept a
+// runnable-worker target. *pool.Pool implements it.
+type Member interface {
+	// Name identifies the member (unique within a coordinator).
+	Name() string
+	// Workers is the member's process count — the cap on its target.
+	Workers() int
+	// SetTarget tells the member how many workers it may run.
+	SetTarget(n int)
+}
+
+// Coordinator allocates capacity among members. All methods are safe
+// for concurrent use.
+type Coordinator struct {
+	mu        sync.Mutex
+	capacity  int
+	external  int // uncontrollable load (processors consumed elsewhere)
+	members   []Member
+	weights   map[string]int
+	loadAware bool
+
+	rebalances int64
+}
+
+// New creates a coordinator managing the given processor capacity. A
+// non-positive capacity selects runtime.GOMAXPROCS(0), the Go analogue
+// of the machine's processor count.
+func New(capacity int) *Coordinator {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	return &Coordinator{capacity: capacity, weights: make(map[string]int)}
+}
+
+// Capacity returns the managed processor count.
+func (c *Coordinator) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// SetCapacity changes the managed capacity and rebalances.
+func (c *Coordinator) SetCapacity(n int) error {
+	if n < 1 {
+		return fmt.Errorf("coordinator: capacity %d < 1", n)
+	}
+	c.mu.Lock()
+	c.capacity = n
+	c.rebalanceLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// SetExternalLoad reports how many processors uncontrollable work is
+// consuming (the paper's "runnable processes not belonging to
+// controllable applications"); the coordinator divides only the rest.
+func (c *Coordinator) SetExternalLoad(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.mu.Lock()
+	c.external = n
+	c.rebalanceLocked()
+	c.mu.Unlock()
+}
+
+// ExternalLoad returns the current uncontrollable-load estimate.
+func (c *Coordinator) ExternalLoad() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.external
+}
+
+// Register adds a member (replacing any member with the same name) and
+// rebalances, pushing fresh targets to every member.
+func (c *Coordinator) Register(m Member) {
+	c.RegisterWeighted(m, 1)
+}
+
+// RegisterWeighted adds a member whose fair share is weight times a unit
+// share. Weights below 1 are treated as 1.
+func (c *Coordinator) RegisterWeighted(m Member, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	c.mu.Lock()
+	c.removeLocked(m.Name())
+	c.members = append(c.members, m)
+	c.weights[m.Name()] = weight
+	c.rebalanceLocked()
+	c.mu.Unlock()
+}
+
+// Unregister removes the named member and redistributes its processors.
+func (c *Coordinator) Unregister(name string) {
+	c.mu.Lock()
+	c.removeLocked(name)
+	c.rebalanceLocked()
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) removeLocked(name string) {
+	for i, m := range c.members {
+		if m.Name() == name {
+			c.members = append(c.members[:i], c.members[i+1:]...)
+			delete(c.weights, name)
+			return
+		}
+	}
+}
+
+// Members returns the registered member names in registration order.
+func (c *Coordinator) Members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, len(c.members))
+	for i, m := range c.members {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// Rebalance recomputes and pushes all targets. Registration changes do
+// this automatically; call it after a member's Workers count changes.
+func (c *Coordinator) Rebalance() {
+	c.mu.Lock()
+	c.rebalanceLocked()
+	c.mu.Unlock()
+}
+
+// Rebalances returns how many times targets were recomputed.
+func (c *Coordinator) Rebalances() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rebalances
+}
+
+// Targets returns the most recently pushed target per member name.
+func (c *Coordinator) Targets() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.members))
+	alloc := c.allocateLocked()
+	for i, m := range c.members {
+		out[m.Name()] = alloc[i]
+	}
+	return out
+}
+
+func (c *Coordinator) allocateLocked() []int {
+	demands := make([]core.Demand, len(c.members))
+	for i, m := range c.members {
+		demands[i] = c.demandOf(m)
+	}
+	return core.Allocate(core.Available(c.capacity, c.external), demands)
+}
+
+func (c *Coordinator) rebalanceLocked() {
+	c.rebalances++
+	alloc := c.allocateLocked()
+	for i, m := range c.members {
+		m.SetTarget(alloc[i])
+	}
+}
+
+// Loader is an optional Member extension: a member that can report how
+// much work it actually has (queued + executing tasks). With
+// SetLoadAware(true), the coordinator caps an idle member's demand at
+// its load, so pools with no backlog stop holding processors that busy
+// pools could use. *pool.Pool implements it.
+type Loader interface {
+	Backlog() int
+	Executing() int
+}
+
+// SetLoadAware toggles load-aware allocation and rebalances.
+func (c *Coordinator) SetLoadAware(on bool) {
+	c.mu.Lock()
+	c.loadAware = on
+	c.rebalanceLocked()
+	c.mu.Unlock()
+}
+
+// demandOf computes a member's Demand under the current mode.
+func (c *Coordinator) demandOf(m Member) core.Demand {
+	d := core.Demand{Max: m.Workers(), Weight: c.weights[m.Name()]}
+	if !c.loadAware {
+		return d
+	}
+	if l, ok := m.(Loader); ok {
+		load := l.Backlog() + l.Executing()
+		if load < 1 {
+			load = 1 // keep one worker warm for arrival latency
+		}
+		if load < d.Max {
+			d.Max = load
+		}
+	}
+	return d
+}
+
+// StartAutoRebalance recomputes targets every interval until the
+// returned stop function is called. Use it with SetLoadAware, whose
+// inputs (pool backlogs) change without membership events.
+func (c *Coordinator) StartAutoRebalance(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				c.Rebalance()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

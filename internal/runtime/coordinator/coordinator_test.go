@@ -1,0 +1,261 @@
+package coordinator
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeMember records targets pushed to it.
+type fakeMember struct {
+	mu      sync.Mutex
+	name    string
+	workers int
+	target  int
+	pushes  int
+}
+
+func (f *fakeMember) Name() string { return f.name }
+func (f *fakeMember) Workers() int { return f.workers }
+func (f *fakeMember) SetTarget(n int) {
+	f.mu.Lock()
+	f.target = n
+	f.pushes++
+	f.mu.Unlock()
+}
+func (f *fakeMember) got() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.target
+}
+
+func TestCoordinatorEqualSplit(t *testing.T) {
+	c := New(16)
+	a := &fakeMember{name: "a", workers: 16}
+	b := &fakeMember{name: "b", workers: 16}
+	c.Register(a)
+	c.Register(b)
+	if a.got() != 8 || b.got() != 8 {
+		t.Errorf("targets %d/%d, want 8/8", a.got(), b.got())
+	}
+}
+
+func TestCoordinatorSoloGetsAll(t *testing.T) {
+	c := New(8)
+	a := &fakeMember{name: "a", workers: 12}
+	c.Register(a)
+	if a.got() != 8 {
+		t.Errorf("solo target %d, want 8", a.got())
+	}
+}
+
+func TestCoordinatorCap(t *testing.T) {
+	c := New(16)
+	small := &fakeMember{name: "small", workers: 2}
+	big := &fakeMember{name: "big", workers: 16}
+	c.Register(small)
+	c.Register(big)
+	if small.got() != 2 {
+		t.Errorf("small target %d, want its cap 2", small.got())
+	}
+	if big.got() != 14 {
+		t.Errorf("big target %d, want 14", big.got())
+	}
+}
+
+func TestCoordinatorUnregisterRedistributes(t *testing.T) {
+	c := New(8)
+	a := &fakeMember{name: "a", workers: 8}
+	b := &fakeMember{name: "b", workers: 8}
+	c.Register(a)
+	c.Register(b)
+	c.Unregister("b")
+	if a.got() != 8 {
+		t.Errorf("after unregister, target %d, want 8", a.got())
+	}
+	if len(c.Members()) != 1 {
+		t.Errorf("members = %v", c.Members())
+	}
+}
+
+func TestCoordinatorExternalLoad(t *testing.T) {
+	c := New(8)
+	a := &fakeMember{name: "a", workers: 8}
+	c.Register(a)
+	c.SetExternalLoad(6)
+	if a.got() != 2 {
+		t.Errorf("target %d with external load 6, want 2", a.got())
+	}
+	if c.ExternalLoad() != 6 {
+		t.Errorf("ExternalLoad = %d", c.ExternalLoad())
+	}
+	c.SetExternalLoad(-5) // clamps to 0
+	if a.got() != 8 {
+		t.Errorf("target %d after load cleared, want 8", a.got())
+	}
+}
+
+func TestCoordinatorStarvationFloor(t *testing.T) {
+	c := New(4)
+	var members []*fakeMember
+	for _, n := range []string{"a", "b", "c"} {
+		m := &fakeMember{name: n, workers: 4}
+		members = append(members, m)
+		c.Register(m)
+	}
+	c.SetExternalLoad(100)
+	for _, m := range members {
+		if m.got() != 1 {
+			t.Errorf("%s target %d on a saturated machine, want the floor 1", m.name, m.got())
+		}
+	}
+}
+
+func TestCoordinatorWeighted(t *testing.T) {
+	c := New(12)
+	heavy := &fakeMember{name: "heavy", workers: 12}
+	light := &fakeMember{name: "light", workers: 12}
+	c.RegisterWeighted(heavy, 2)
+	c.RegisterWeighted(light, 1)
+	if heavy.got() <= light.got() {
+		t.Errorf("weighted split %d/%d", heavy.got(), light.got())
+	}
+	if heavy.got()+light.got() != 12 {
+		t.Errorf("split %d+%d != 12", heavy.got(), light.got())
+	}
+}
+
+func TestCoordinatorReplaceSameName(t *testing.T) {
+	c := New(8)
+	a1 := &fakeMember{name: "a", workers: 2}
+	a2 := &fakeMember{name: "a", workers: 8}
+	c.Register(a1)
+	c.Register(a2)
+	if len(c.Members()) != 1 {
+		t.Fatalf("members = %v", c.Members())
+	}
+	if a2.got() != 8 {
+		t.Errorf("replacement target %d", a2.got())
+	}
+}
+
+func TestCoordinatorCapacity(t *testing.T) {
+	c := New(0) // selects GOMAXPROCS
+	if c.Capacity() < 1 {
+		t.Errorf("default capacity %d", c.Capacity())
+	}
+	a := &fakeMember{name: "a", workers: 64}
+	c.Register(a)
+	if err := c.SetCapacity(4); err != nil {
+		t.Fatal(err)
+	}
+	if a.got() != 4 {
+		t.Errorf("target %d after capacity change, want 4", a.got())
+	}
+	if err := c.SetCapacity(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestCoordinatorTargets(t *testing.T) {
+	c := New(6)
+	a := &fakeMember{name: "a", workers: 6}
+	b := &fakeMember{name: "b", workers: 6}
+	c.Register(a)
+	c.Register(b)
+	targets := c.Targets()
+	if targets["a"] != 3 || targets["b"] != 3 {
+		t.Errorf("Targets = %v", targets)
+	}
+	if c.Rebalances() < 2 {
+		t.Errorf("Rebalances = %d", c.Rebalances())
+	}
+}
+
+func TestCoordinatorConcurrentUse(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := &fakeMember{name: string(rune('a' + g)), workers: 8}
+			for i := 0; i < 50; i++ {
+				c.Register(m)
+				c.SetExternalLoad(i % 4)
+				c.Targets()
+				c.Unregister(m.name)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(c.Members()) != 0 {
+		t.Errorf("members left over: %v", c.Members())
+	}
+}
+
+// loadedMember is a fakeMember that reports a load.
+type loadedMember struct {
+	fakeMember
+	backlog, executing atomic.Int64
+}
+
+func (l *loadedMember) Backlog() int   { return int(l.backlog.Load()) }
+func (l *loadedMember) Executing() int { return int(l.executing.Load()) }
+
+func TestCoordinatorLoadAware(t *testing.T) {
+	c := New(8)
+	busy := &loadedMember{fakeMember: fakeMember{name: "busy", workers: 8}}
+	busy.backlog.Store(100)
+	idle := &loadedMember{fakeMember: fakeMember{name: "idle", workers: 8}}
+	c.Register(busy)
+	c.Register(idle)
+	// Fair mode: 4/4.
+	if busy.got() != 4 || idle.got() != 4 {
+		t.Fatalf("fair targets %d/%d", busy.got(), idle.got())
+	}
+	c.SetLoadAware(true)
+	if idle.got() != 1 {
+		t.Errorf("idle pool target %d under load-aware mode, want 1", idle.got())
+	}
+	if busy.got() != 7 {
+		t.Errorf("busy pool target %d, want 7", busy.got())
+	}
+	// Work arrives at the idle pool: the next rebalance restores it.
+	idle.backlog.Store(50)
+	c.Rebalance()
+	if idle.got() != 4 || busy.got() != 4 {
+		t.Errorf("after load shift: %d/%d, want 4/4", busy.got(), idle.got())
+	}
+	// Members without a Load method keep their full demand.
+	plain := &fakeMember{name: "plain", workers: 8}
+	c.Register(plain)
+	if plain.got() < 2 {
+		t.Errorf("plain member target %d", plain.got())
+	}
+}
+
+func TestCoordinatorAutoRebalance(t *testing.T) {
+	c := New(8)
+	busy := &loadedMember{fakeMember: fakeMember{name: "busy", workers: 8}}
+	busy.backlog.Store(100)
+	idle := &loadedMember{fakeMember: fakeMember{name: "idle", workers: 8}}
+	idle.backlog.Store(100)
+	c.SetLoadAware(true)
+	c.Register(busy)
+	c.Register(idle)
+	stop := c.StartAutoRebalance(5 * time.Millisecond)
+	defer stop()
+	idle.backlog.Store(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for idle.got() != 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if idle.got() != 1 {
+		t.Errorf("auto-rebalance never adapted: idle target %d", idle.got())
+	}
+	stop()
+	stop() // idempotent
+}

@@ -1,0 +1,62 @@
+package coordinator
+
+// The wire protocol is JSON objects, one per line, over any stream
+// connection (Unix socket by default, TCP if asked) — the modern
+// analogue of the paper's UMAX socket IPC between applications and the
+// central server.
+//
+//	-> {"op":"register","app":"fft","procs":16,"weight":1}
+//	<- {"ok":true,"target":8}
+//	-> {"op":"poll","app":"fft"}
+//	<- {"ok":true,"target":8}
+//	-> {"op":"unregister","app":"fft"}
+//	<- {"ok":true}
+//	-> {"op":"setload","load":2}
+//	<- {"ok":true}
+//	-> {"op":"status"}
+//	<- {"ok":true,"status":{...}}
+//
+// Registrations are owned by their connection: when the connection
+// drops, its applications are unregistered and their processors are
+// redistributed, so a crashed application cannot pin capacity.
+
+// Request is one client message.
+type Request struct {
+	Op     string `json:"op"`
+	App    string `json:"app,omitempty"`
+	Procs  int    `json:"procs,omitempty"`
+	Weight int    `json:"weight,omitempty"`
+	Load   int    `json:"load,omitempty"`
+}
+
+// Response is one server reply.
+type Response struct {
+	OK     bool    `json:"ok"`
+	Error  string  `json:"error,omitempty"`
+	Target int     `json:"target,omitempty"`
+	Status *Status `json:"status,omitempty"`
+}
+
+// Status is the coordinator state snapshot served to inspectors.
+type Status struct {
+	Capacity     int         `json:"capacity"`
+	ExternalLoad int         `json:"external_load"`
+	Apps         []AppStatus `json:"apps"`
+}
+
+// AppStatus describes one registered application.
+type AppStatus struct {
+	Name   string `json:"name"`
+	Procs  int    `json:"procs"`
+	Weight int    `json:"weight"`
+	Target int    `json:"target"`
+}
+
+// Protocol op names.
+const (
+	OpRegister   = "register"
+	OpPoll       = "poll"
+	OpUnregister = "unregister"
+	OpSetLoad    = "setload"
+	OpStatus     = "status"
+)

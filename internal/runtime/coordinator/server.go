@@ -1,0 +1,174 @@
+package coordinator
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// remoteMember represents an application registered over a socket. Its
+// target is stored for the application's next poll, mirroring the
+// paper's poll-based delivery.
+type remoteMember struct {
+	name   string
+	procs  int
+	target atomic.Int64
+}
+
+func (r *remoteMember) Name() string    { return r.name }
+func (r *remoteMember) Workers() int    { return r.procs }
+func (r *remoteMember) SetTarget(n int) { r.target.Store(int64(n)) }
+
+// Server accepts socket connections and bridges them to a Coordinator.
+type Server struct {
+	coord *Coordinator
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer wraps a coordinator and a listener. Call Serve to start
+// accepting.
+func NewServer(coord *Coordinator, ln net.Listener) *Server {
+	return &Server{coord: coord, ln: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until Close. It always returns a non-nil
+// error; after Close the error is net.ErrClosed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener and drops every connection (unregistering
+// their applications).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// handle serves one connection until it drops, then unregisters the
+// applications it registered.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	owned := make(map[string]*remoteMember)
+	defer func() {
+		for name := range owned {
+			s.coord.Unregister(name)
+		}
+	}()
+
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		resp := s.dispatch(&req, owned)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request, owned map[string]*remoteMember) Response {
+	switch req.Op {
+	case OpRegister:
+		if req.App == "" || req.Procs < 1 {
+			return errResp(errors.New("register needs app and procs >= 1"))
+		}
+		m := &remoteMember{name: req.App, procs: req.Procs}
+		s.coord.RegisterWeighted(m, req.Weight)
+		owned[req.App] = m
+		return Response{OK: true, Target: int(m.target.Load())}
+
+	case OpPoll:
+		m, ok := owned[req.App]
+		if !ok {
+			return errResp(fmt.Errorf("app %q not registered on this connection", req.App))
+		}
+		return Response{OK: true, Target: int(m.target.Load())}
+
+	case OpUnregister:
+		m, ok := owned[req.App]
+		if !ok {
+			return errResp(fmt.Errorf("app %q not registered on this connection", req.App))
+		}
+		_ = m
+		delete(owned, req.App)
+		s.coord.Unregister(req.App)
+		return Response{OK: true}
+
+	case OpSetLoad:
+		s.coord.SetExternalLoad(req.Load)
+		return Response{OK: true}
+
+	case OpStatus:
+		return Response{OK: true, Status: s.status()}
+
+	default:
+		return errResp(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+func (s *Server) status() *Status {
+	targets := s.coord.Targets()
+	st := &Status{
+		Capacity:     s.coord.Capacity(),
+		ExternalLoad: s.coord.ExternalLoad(),
+	}
+	s.coord.mu.Lock()
+	for _, m := range s.coord.members {
+		st.Apps = append(st.Apps, AppStatus{
+			Name:   m.Name(),
+			Procs:  m.Workers(),
+			Weight: s.coord.weights[m.Name()],
+			Target: targets[m.Name()],
+		})
+	}
+	s.coord.mu.Unlock()
+	return st
+}
+
+func errResp(err error) Response {
+	return Response{OK: false, Error: err.Error()}
+}

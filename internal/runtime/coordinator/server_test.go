@@ -1,0 +1,222 @@
+package coordinator
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"procctl/internal/runtime/pool"
+)
+
+// startServer runs a coordinator daemon on a Unix socket in a temp dir.
+func startServer(t *testing.T, capacity int) (*Server, string) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "procctld.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(New(capacity), ln)
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return srv, sock
+}
+
+func TestServerRegisterPoll(t *testing.T) {
+	_, sock := startServer(t, 8)
+	c1, err := Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	target, err := c1.Register("alpha", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != 8 {
+		t.Errorf("solo target %d, want 8", target)
+	}
+	if _, err := c2.Register("beta", 8); err != nil {
+		t.Fatal(err)
+	}
+	// After beta arrives, alpha's next poll sees the split.
+	target, err = c1.Poll("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != 4 {
+		t.Errorf("alpha target %d after beta, want 4", target)
+	}
+}
+
+func TestServerUnregister(t *testing.T) {
+	_, sock := startServer(t, 8)
+	c, err := Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Register("a", 8)
+	c.Register("b", 8)
+	if err := c.Unregister("b"); err != nil {
+		t.Fatal(err)
+	}
+	if target, _ := c.Poll("a"); target != 8 {
+		t.Errorf("target %d after unregister, want 8", target)
+	}
+	if err := c.Unregister("b"); err == nil {
+		t.Error("double unregister accepted")
+	}
+}
+
+func TestServerPollUnknown(t *testing.T) {
+	_, sock := startServer(t, 8)
+	c, _ := Dial("unix", sock)
+	defer c.Close()
+	if _, err := c.Poll("ghost"); err == nil {
+		t.Error("poll of unregistered app succeeded")
+	}
+}
+
+func TestServerRegisterValidation(t *testing.T) {
+	_, sock := startServer(t, 8)
+	c, _ := Dial("unix", sock)
+	defer c.Close()
+	if _, err := c.Register("", 4); err == nil {
+		t.Error("empty app name accepted")
+	}
+	if _, err := c.Register("x", 0); err == nil {
+		t.Error("zero procs accepted")
+	}
+}
+
+func TestServerConnDropUnregisters(t *testing.T) {
+	srv, sock := startServer(t, 8)
+	c1, _ := Dial("unix", sock)
+	c2, _ := Dial("unix", sock)
+	defer c2.Close()
+	c1.Register("doomed", 8)
+	c2.Register("survivor", 8)
+	if target, _ := c2.Poll("survivor"); target != 4 {
+		t.Fatalf("pre-drop target %d", target)
+	}
+	c1.Close()
+	// The server notices the drop asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if target, _ := c2.Poll("survivor"); target == 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead connection's registration never cleaned up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = srv
+}
+
+func TestServerSetLoadAndStatus(t *testing.T) {
+	_, sock := startServer(t, 8)
+	c, _ := Dial("unix", sock)
+	defer c.Close()
+	c.Register("app", 8)
+	if err := c.SetExternalLoad(6); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Capacity != 8 || st.ExternalLoad != 6 {
+		t.Errorf("status %+v", st)
+	}
+	if len(st.Apps) != 1 || st.Apps[0].Name != "app" || st.Apps[0].Target != 2 {
+		t.Errorf("apps %+v", st.Apps)
+	}
+}
+
+func TestServerUnknownOp(t *testing.T) {
+	_, sock := startServer(t, 8)
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn)
+	if _, err := c.roundTrip(&Request{Op: "bogus"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestServerTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(New(4), ln)
+	go srv.Serve()
+	defer srv.Close()
+	c, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if target, err := c.Register("tcp-app", 4); err != nil || target != 4 {
+		t.Errorf("target=%d err=%v", target, err)
+	}
+}
+
+func TestClientDrive(t *testing.T) {
+	_, sock := startServer(t, 4)
+	cOther, _ := Dial("unix", sock)
+	defer cOther.Close()
+
+	c, err := Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p := pool.New(pool.Config{Name: "driven", Workers: 4})
+	stop, err := c.Drive("driven", 4, p, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Target() != 4 {
+		t.Errorf("initial driven target %d", p.Target())
+	}
+	// A second app arrives; the poller must shrink the pool's target.
+	cOther.Register("other", 4)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Target() != 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Target() != 2 {
+		t.Fatalf("driven target %d, want 2", p.Target())
+	}
+	stop()
+	stop() // idempotent
+	// After stop, the app is unregistered: the other app gets everything.
+	if target, _ := cOther.Poll("other"); target != 4 {
+		t.Errorf("other's target %d after stop, want 4", target)
+	}
+	p.Close()
+	p.Wait()
+}
+
+func TestServerCloseDropsConnections(t *testing.T) {
+	srv, sock := startServer(t, 8)
+	c, _ := Dial("unix", sock)
+	c.Register("a", 4)
+	srv.Close()
+	if _, err := c.Poll("a"); err == nil {
+		t.Error("poll succeeded after server close")
+	}
+	c.Close()
+}

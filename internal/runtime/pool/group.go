@@ -1,0 +1,50 @@
+package pool
+
+import "sync"
+
+// Group runs a batch of related tasks on a pool and collects the first
+// error — errgroup for adaptive pools. Tasks still go through the
+// pool's queue, so process control applies to them like any other work.
+type Group struct {
+	p  *Pool
+	wg sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewGroup returns a group submitting to p.
+func NewGroup(p *Pool) *Group {
+	return &Group{p: p}
+}
+
+// Go submits one task. The first task error (or panic, re-raised as an
+// error by the caller's recover discipline) is retained for Wait.
+// Go itself returns an error only if the pool is closed.
+func (g *Group) Go(f func() error) error {
+	g.wg.Add(1)
+	err := g.p.Submit(func() {
+		defer g.wg.Done()
+		if err := f(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	})
+	if err != nil {
+		g.wg.Done()
+		return err
+	}
+	return nil
+}
+
+// Wait blocks until every task submitted via Go has finished and
+// returns the first error.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

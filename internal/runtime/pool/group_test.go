@@ -1,0 +1,73 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupAllTasksRun(t *testing.T) {
+	p := New(Config{Workers: 4})
+	defer func() { p.Close(); p.Wait() }()
+	g := NewGroup(p)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := g.Go(func() error { n.Add(1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Errorf("ran %d of 100", n.Load())
+	}
+}
+
+func TestGroupFirstError(t *testing.T) {
+	p := New(Config{Workers: 2})
+	defer func() { p.Close(); p.Wait() }()
+	g := NewGroup(p)
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != boom {
+		t.Errorf("Wait = %v, want boom", err)
+	}
+}
+
+func TestGroupOnClosedPool(t *testing.T) {
+	p := New(Config{Workers: 1})
+	p.Close()
+	p.Wait()
+	g := NewGroup(p)
+	if err := g.Go(func() error { return nil }); err != ErrClosed {
+		t.Errorf("Go on closed pool = %v", err)
+	}
+	if err := g.Wait(); err != nil {
+		t.Errorf("Wait after failed Go = %v (must not deadlock)", err)
+	}
+}
+
+func TestGroupMultipleWaits(t *testing.T) {
+	p := New(Config{Workers: 2})
+	defer func() { p.Close(); p.Wait() }()
+	g := NewGroup(p)
+	g.Go(func() error { return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse after Wait.
+	e := errors.New("later")
+	g.Go(func() error { return e })
+	if err := g.Wait(); err != e {
+		t.Errorf("second Wait = %v", err)
+	}
+}

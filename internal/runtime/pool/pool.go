@@ -1,0 +1,220 @@
+// Package pool is the paper's modified threads package transplanted to
+// modern Go: an adaptive worker pool that executes queued tasks on a set
+// of workers and can suspend or resume workers between tasks — the safe
+// suspension points of Section 4.1 — to track a target set by a central
+// coordinator. Application code only submits tasks; the process control
+// is completely transparent, exactly as in the paper.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Task is one unit of work (the paper's "task": a chunk of computation
+// assigned to whatever worker dequeues it).
+type Task func()
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("pool: closed")
+
+// Config configures a Pool.
+type Config struct {
+	// Name identifies the pool to coordinators and in diagnostics.
+	Name string
+	// Workers is the number of worker goroutines (the application's
+	// "processes"). Default: runtime.GOMAXPROCS(0).
+	Workers int
+	// Target is the initial number of runnable workers; 0 means all.
+	Target int
+}
+
+// Stats is a snapshot of pool accounting.
+type Stats struct {
+	Submitted   int64
+	Completed   int64
+	Suspensions int64 // workers parked by process control
+	Resumes     int64 // workers unparked by process control
+}
+
+// Pool runs tasks on a fixed set of workers, at most Target of which are
+// runnable at any time.
+type Pool struct {
+	name    string
+	workers int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []Task
+	target    int
+	runnable  int // workers not suspended by process control
+	executing int // workers currently inside a task
+	closed    bool
+	stats     Stats
+
+	wg sync.WaitGroup
+}
+
+// New creates and starts a pool.
+func New(cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Target <= 0 || cfg.Target > cfg.Workers {
+		cfg.Target = cfg.Workers
+	}
+	if cfg.Name == "" {
+		cfg.Name = "pool"
+	}
+	p := &Pool{
+		name:     cfg.Name,
+		workers:  cfg.Workers,
+		target:   cfg.Target,
+		runnable: cfg.Workers,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Name returns the pool's name.
+func (p *Pool) Name() string { return p.name }
+
+// Workers returns the total worker count — the cap the coordinator uses
+// ("never assign more processors than the application has processes").
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit queues a task. It returns ErrClosed after Close.
+func (p *Pool) Submit(t Task) error {
+	if t == nil {
+		return errors.New("pool: nil task")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	p.queue = append(p.queue, t)
+	p.stats.Submitted++
+	p.cond.Broadcast()
+	return nil
+}
+
+// SetTarget sets how many workers may be runnable. Values are clamped
+// to [1, Workers]: the paper's starvation floor guarantees at least one.
+func (p *Pool) SetTarget(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.workers {
+		n = p.workers
+	}
+	p.mu.Lock()
+	p.target = n
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Target returns the current runnable-worker target.
+func (p *Pool) Target() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target
+}
+
+// Runnable returns how many workers are currently not suspended.
+func (p *Pool) Runnable() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runnable
+}
+
+// Executing returns how many workers are currently inside a task.
+func (p *Pool) Executing() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.executing
+}
+
+// Backlog returns the number of queued (not yet started) tasks.
+func (p *Pool) Backlog() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close stops intake. Workers exit once the queue drains; Wait blocks
+// until they have.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Wait blocks until Close has been called and all tasks have finished.
+func (p *Pool) Wait() {
+	p.wg.Wait()
+}
+
+// worker is the scheduler loop of one worker: dequeue, execute, and at
+// every task boundary — the safe suspension point — yield to process
+// control.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		if p.closed && len(p.queue) == 0 {
+			p.mu.Unlock()
+			// Release suspended or idle peers so they can exit too.
+			p.cond.Broadcast()
+			return
+		}
+		// Safe suspension point: between tasks, holding no task state.
+		if p.runnable > p.target && p.runnable > 1 {
+			p.runnable--
+			p.stats.Suspensions++
+			for p.runnable >= p.target && !(p.closed && len(p.queue) == 0) {
+				p.cond.Wait()
+			}
+			p.runnable++
+			p.stats.Resumes++
+			continue
+		}
+		if len(p.queue) == 0 {
+			p.cond.Wait()
+			continue
+		}
+		t := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		p.executing++
+		p.mu.Unlock()
+
+		t()
+
+		p.mu.Lock()
+		p.executing--
+		p.stats.Completed++
+	}
+}
+
+// String describes the pool state.
+func (p *Pool) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("pool %q: %d workers, target %d, runnable %d, %d queued",
+		p.name, p.workers, p.target, p.runnable, len(p.queue))
+}

@@ -1,0 +1,264 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAllTasksRun(t *testing.T) {
+	p := New(Config{Name: "t", Workers: 4})
+	var n atomic.Int64
+	const tasks = 500
+	for i := 0; i < tasks; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	p.Wait()
+	if n.Load() != tasks {
+		t.Errorf("ran %d of %d tasks", n.Load(), tasks)
+	}
+	st := p.Stats()
+	if st.Submitted != tasks || st.Completed != tasks {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	p := New(Config{Workers: 1})
+	p.Close()
+	if err := p.Submit(func() {}); err != ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	p.Wait()
+}
+
+func TestSubmitNil(t *testing.T) {
+	p := New(Config{Workers: 1})
+	defer func() { p.Close(); p.Wait() }()
+	if err := p.Submit(nil); err == nil {
+		t.Error("nil task accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.Workers() < 1 {
+		t.Errorf("Workers = %d", p.Workers())
+	}
+	if p.Name() != "pool" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Target() != p.Workers() {
+		t.Errorf("default target %d != workers %d", p.Target(), p.Workers())
+	}
+	p.Close()
+	p.Wait()
+}
+
+func TestSetTargetClamps(t *testing.T) {
+	p := New(Config{Workers: 4})
+	p.SetTarget(0)
+	if p.Target() != 1 {
+		t.Errorf("target %d, want clamp to 1", p.Target())
+	}
+	p.SetTarget(100)
+	if p.Target() != 4 {
+		t.Errorf("target %d, want clamp to 4", p.Target())
+	}
+	p.Close()
+	p.Wait()
+}
+
+func TestTargetLimitsConcurrency(t *testing.T) {
+	const workers = 8
+	p := New(Config{Workers: workers, Target: 2})
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	updatePeak := func(v int64) {
+		mu.Lock()
+		if v > peak.Load() {
+			peak.Store(v)
+		}
+		mu.Unlock()
+	}
+	for i := 0; i < 100; i++ {
+		p.Submit(func() {
+			v := cur.Add(1)
+			updatePeak(v)
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	p.Close()
+	p.Wait()
+	if peak.Load() > 2 {
+		t.Errorf("concurrency peaked at %d with target 2", peak.Load())
+	}
+}
+
+func TestTargetRaiseResumesWorkers(t *testing.T) {
+	p := New(Config{Workers: 4, Target: 1})
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	block := make(chan struct{})
+	for i := 0; i < 40; i++ {
+		p.Submit(func() {
+			v := cur.Add(1)
+			mu.Lock()
+			if v > peak.Load() {
+				peak.Store(v)
+			}
+			mu.Unlock()
+			<-block
+			cur.Add(-1)
+		})
+	}
+	// Let the pool throttle to 1, then raise.
+	time.Sleep(20 * time.Millisecond)
+	p.SetTarget(4)
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	p.Close()
+	p.Wait()
+	if peak.Load() < 4 {
+		t.Errorf("after raising the target, peak concurrency %d, want 4", peak.Load())
+	}
+	st := p.Stats()
+	if st.Suspensions == 0 || st.Resumes == 0 {
+		t.Errorf("no suspension activity recorded: %+v", st)
+	}
+}
+
+func TestSuspensionHappensBetweenTasks(t *testing.T) {
+	// A running task is never interrupted: even with target 1, a long
+	// task admitted earlier finishes.
+	p := New(Config{Workers: 2})
+	started := make(chan struct{}, 2)
+	finish := make(chan struct{})
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		p.Submit(func() {
+			started <- struct{}{}
+			<-finish
+			done <- struct{}{}
+		})
+	}
+	<-started
+	<-started
+	p.SetTarget(1) // both tasks already executing; neither is killed
+	close(finish)
+	<-done
+	<-done
+	p.Close()
+	p.Wait()
+}
+
+func TestWaitBlocksUntilDrained(t *testing.T) {
+	p := New(Config{Workers: 2})
+	var done atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Submit(func() {
+			time.Sleep(time.Millisecond)
+			done.Add(1)
+		})
+	}
+	p.Close()
+	p.Wait()
+	if done.Load() != 50 {
+		t.Errorf("Wait returned before tasks drained: %d/50", done.Load())
+	}
+}
+
+func TestSuspendedWorkersExitOnClose(t *testing.T) {
+	p := New(Config{Workers: 4, Target: 1})
+	for i := 0; i < 4; i++ {
+		p.Submit(func() { time.Sleep(time.Millisecond) })
+	}
+	time.Sleep(10 * time.Millisecond) // some workers now suspended
+	p.Close()
+	doneCh := make(chan struct{})
+	go func() { p.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait hung: suspended workers did not exit on Close")
+	}
+}
+
+func TestConcurrentSubmitAndRetarget(t *testing.T) {
+	p := New(Config{Workers: 8})
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Submit(func() { n.Add(1) })
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			p.SetTarget(1 + i%8)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	p.Close()
+	p.Wait()
+	if n.Load() != 800 {
+		t.Errorf("ran %d of 800 tasks under churn", n.Load())
+	}
+}
+
+func TestBacklogAndExecuting(t *testing.T) {
+	p := New(Config{Workers: 1})
+	block := make(chan struct{})
+	p.Submit(func() { <-block })
+	p.Submit(func() {})
+	// Wait for the first task to start.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Executing() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Executing() != 1 {
+		t.Fatal("first task never started")
+	}
+	if p.Backlog() != 1 {
+		t.Errorf("Backlog = %d, want 1", p.Backlog())
+	}
+	close(block)
+	p.Close()
+	p.Wait()
+	if p.Backlog() != 0 {
+		t.Errorf("Backlog after drain = %d", p.Backlog())
+	}
+}
+
+func TestRunnableReporting(t *testing.T) {
+	p := New(Config{Workers: 4})
+	if p.Runnable() != 4 {
+		t.Errorf("initial Runnable = %d", p.Runnable())
+	}
+	p.SetTarget(2)
+	// Workers suspend lazily at safe points; give them a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Runnable() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Runnable() != 2 {
+		t.Errorf("Runnable = %d after throttling to 2", p.Runnable())
+	}
+	if s := p.String(); s == "" {
+		t.Error("empty String()")
+	}
+	p.Close()
+	p.Wait()
+}

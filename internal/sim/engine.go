@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// An event is a callback scheduled at an instant of virtual time. Events
+// at the same instant fire in the order they were scheduled (seq order),
+// which makes the simulation fully deterministic.
+type event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	stopped bool
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation driver. It is not safe for
+// concurrent use; the whole simulation runs on a single goroutine (the
+// coroutine rendezvous in the kernel package guarantees that simulated
+// process bodies never run concurrently with the engine).
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *RNG
+	stopped bool
+	nfired  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an RNG seeded
+// with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Fired reports how many events have fired so far.
+func (e *Engine) Fired() uint64 { return e.nfired }
+
+// Pending reports how many events are scheduled but not yet fired
+// (including canceled events not yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run at instant at. Scheduling in the past
+// panics: it always indicates a model bug. Events at the current instant
+// are legal and fire after all callbacks already queued for that instant.
+func (e *Engine) Schedule(at Time, fn func()) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel stops a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.stopped = true
+	}
+}
+
+// Stop makes Run return after the currently firing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run fires events in order until the queue empties, the clock would pass
+// until, or Stop is called. It returns the virtual time at which it
+// stopped. Events scheduled exactly at until do fire.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if ev.stopped {
+			continue
+		}
+		e.now = ev.at
+		e.nfired++
+		ev.fn()
+	}
+	if e.now < until && len(e.queue) == 0 {
+		// Queue drained before the horizon: the simulation is quiescent.
+		return e.now
+	}
+	return e.now
+}
+
+// RunUntilIdle fires all events with no time bound and returns the final
+// virtual time.
+func (e *Engine) RunUntilIdle() Time { return e.Run(Forever) }
+
+// Every schedules fn to run now+d, now+2d, ... until the returned cancel
+// function is called or fn returns false.
+func (e *Engine) Every(d Duration, fn func() bool) (cancel func()) {
+	if d <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	canceled := false
+	var tick func()
+	tick = func() {
+		if canceled {
+			return
+		}
+		if !fn() {
+			return
+		}
+		e.After(d, tick)
+	}
+	e.After(d, tick)
+	return func() { canceled = true }
+}

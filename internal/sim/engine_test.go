@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	end := e.RunUntilIdle()
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if end != 30 {
+		t.Errorf("final time %v, want 30", end)
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineEventsScheduledDuringEvent(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(10, func() {
+		order = append(order, "a")
+		e.Schedule(10, func() { order = append(order, "a-nested") })
+		e.Schedule(5+10, func() { order = append(order, "c") })
+	})
+	e.Schedule(12, func() { order = append(order, "b") })
+	e.RunUntilIdle()
+	want := []string{"a", "a-nested", "b", "c"}
+	for i, w := range want {
+		if i >= len(order) || order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.RunUntilIdle()
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	id := e.Schedule(10, func() { fired = true })
+	e.Cancel(id)
+	e.Cancel(id) // double cancel is a no-op
+	e.RunUntilIdle()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	// Canceling a fired event is a no-op.
+	ran := false
+	id2 := e.Schedule(20, func() { ran = true })
+	e.RunUntilIdle()
+	e.Cancel(id2)
+	if !ran {
+		t.Error("event did not fire")
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	end := e.Run(20)
+	if len(fired) != 2 || fired[1] != 20 {
+		t.Errorf("events at horizon must fire: got %v", fired)
+	}
+	if end != 20 {
+		t.Errorf("Run returned %v, want 20", end)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	end = e.RunUntilIdle()
+	if end != 30 || len(fired) != 3 {
+		t.Errorf("resume failed: end=%v fired=%v", end, fired)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntilIdle()
+	if count != 2 {
+		t.Errorf("Stop did not halt the loop: %d events fired", count)
+	}
+	// Run can continue afterwards.
+	e.RunUntilIdle()
+	if count != 5 {
+		t.Errorf("resume after Stop fired %d total, want 5", count)
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(100, func() {
+		e.After(50, func() {
+			if e.Now() != 150 {
+				t.Errorf("After fired at %v, want 150", e.Now())
+			}
+		})
+	})
+	e.RunUntilIdle()
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine(1)
+	var at []Time
+	e.Every(10, func() bool {
+		at = append(at, e.Now())
+		return len(at) < 3
+	})
+	e.RunUntilIdle()
+	want := []Time{10, 20, 30}
+	if len(at) != 3 {
+		t.Fatalf("Every fired %d times, want 3", len(at))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, at[i], want[i])
+		}
+	}
+}
+
+func TestEngineEveryCancel(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	cancel := e.Every(10, func() bool { n++; return true })
+	e.Run(35)
+	cancel()
+	e.Run(100)
+	if n != 3 {
+		t.Errorf("canceled Every fired %d times, want 3", n)
+	}
+}
+
+func TestEngineEveryInvalidPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	NewEngine(1).Every(0, func() bool { return true })
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunUntilIdle()
+	if e.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+func TestEngineQuiescenceBeforeHorizon(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {})
+	end := e.Run(1000)
+	if end != 10 {
+		t.Errorf("engine should report quiescence time 10, got %v", end)
+	}
+}
+
+// TestEngineMatchesReferenceModel drives the event heap with random
+// schedule/cancel sequences and checks the firing order against a
+// simple sorted-slice reference implementation.
+func TestEngineMatchesReferenceModel(t *testing.T) {
+	rng := NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine(1)
+		type ref struct {
+			at  Time
+			seq int
+		}
+		var model []ref
+		var got []int
+		var ids []EventID
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(1000))
+			seq := i
+			ids = append(ids, e.Schedule(at, func() { got = append(got, seq) }))
+			model = append(model, ref{at, seq})
+		}
+		// Cancel a random subset.
+		canceled := map[int]bool{}
+		for i := range ids {
+			if rng.Intn(4) == 0 {
+				e.Cancel(ids[i])
+				canceled[i] = true
+			}
+		}
+		e.RunUntilIdle()
+		// Reference: stable sort by time (seq breaks ties by insertion).
+		var want []int
+		for at := Time(0); at < 1000; at++ {
+			for _, m := range model {
+				if m.at == at && !canceled[m.seq] {
+					want = append(want, m.seq)
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order %v, want %v", trial, got, want)
+			}
+		}
+	}
+}

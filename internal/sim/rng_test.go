@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("seed-0 stream repeated values: %d unique of 100", len(seen))
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Errorf("Float64 mean %v, want ≈0.5", mean)
+	}
+}
+
+func TestRNGDurationBounds(t *testing.T) {
+	r := NewRNG(13)
+	err := quick.Check(func(a, b uint32) bool {
+		lo, hi := Duration(a%1000), Duration(a%1000+b%1000)
+		d := r.Duration(lo, hi)
+		return d >= lo && d <= hi
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+	if d := r.Duration(5, 5); d != 5 {
+		t.Errorf("Duration(5,5) = %v, want 5", d)
+	}
+}
+
+func TestRNGDurationPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Duration(hi<lo) did not panic")
+		}
+	}()
+	NewRNG(1).Duration(10, 5)
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	a := NewRNG(21)
+	child := a.Split()
+	// Child draws must not perturb the parent's subsequent stream.
+	b := NewRNG(21)
+	b.Split()
+	for i := 0; i < 10; i++ {
+		child.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("parent stream perturbed by child draws at %d", i)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package sim provides the deterministic discrete-event simulation core
+// used by the machine, kernel, and threads models: a virtual clock, an
+// event queue, and a seedable random number generator.
+//
+// All simulated time is expressed in Time (an absolute instant) and
+// Duration (a span), both counted in microseconds of virtual time. The
+// engine is strictly deterministic: two runs with the same seed and the
+// same sequence of Schedule calls produce identical event orders.
+package sim
+
+import "fmt"
+
+// Time is an absolute instant of virtual time, in microseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Forever is a sentinel instant later than any reachable simulation time.
+const Forever Time = 1<<63 - 1
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats t as seconds with millisecond precision.
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports d as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats d using the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second || d <= -Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond || d <= -Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%dµs", int64(d))
+	}
+}
+
+// DurationOf converts floating-point seconds to a Duration.
+func DurationOf(seconds float64) Duration {
+	return Duration(seconds * float64(Second))
+}

@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(1_000_000) // 1 s
+	t1 := t0.Add(500 * Millisecond)
+	if t1 != Time(1_500_000) {
+		t.Errorf("Add: got %d", int64(t1))
+	}
+	if d := t1.Sub(t0); d != 500*Millisecond {
+		t.Errorf("Sub: got %v", d)
+	}
+	if s := t1.Seconds(); s != 1.5 {
+		t.Errorf("Seconds: got %v", s)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Microsecond, "500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{1500 * Millisecond, "1.500s"},
+		{0, "0µs"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d: got %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(2_500_000).String(); got != "2.500s" {
+		t.Errorf("got %q", got)
+	}
+	if got := Forever.String(); got != "forever" {
+		t.Errorf("Forever prints %q", got)
+	}
+}
+
+func TestDurationOf(t *testing.T) {
+	if d := DurationOf(1.5); d != 1500*Millisecond {
+		t.Errorf("DurationOf(1.5) = %v", d)
+	}
+	if d := DurationOf(0); d != 0 {
+		t.Errorf("DurationOf(0) = %v", d)
+	}
+}
+
+func TestDurationUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Error("unit constants inconsistent")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (3 * Millisecond).Milliseconds() != 3.0 {
+		t.Error("Milliseconds conversion wrong")
+	}
+}

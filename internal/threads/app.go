@@ -1,0 +1,383 @@
+package threads
+
+import (
+	"fmt"
+
+	"procctl/internal/kernel"
+	"procctl/internal/sim"
+)
+
+// Controller is the threads runtime's view of the central server. The
+// simulated server (internal/ctrl) implements it; a nil Controller in
+// Config reproduces the *unmodified* threads package, with no process
+// control.
+type Controller interface {
+	// Register announces a new controllable application and how many
+	// processes it was started with (the paper's root-process message).
+	Register(id kernel.AppID, procs int)
+	// Unregister announces the application finished.
+	Unregister(id kernel.AppID)
+	// Poll returns the number of runnable processes the application
+	// should currently have. Applications call it at most once per
+	// PollInterval.
+	Poll(id kernel.AppID) int
+}
+
+// Config tunes the threads runtime for one application instance.
+type Config struct {
+	// Procs is the number of kernel processes to create (the
+	// user-specified process count in the paper's experiments).
+	Procs int
+	// WorkingSet is each process's cache footprint in bytes
+	// (default 256 KiB — a full Multimax cache, so multiplexing several
+	// processes on one CPU evicts each other's sets completely).
+	WorkingSet int64
+	// Controller enables process control; nil reproduces the original
+	// unmodified package.
+	Controller Controller
+	// PollInterval is how often the application asks the server for its
+	// target (the paper uses 6 s; default 6 s).
+	PollInterval sim.Duration
+	// DequeueCost is the CPU time spent inside the queue lock to take a
+	// task (default 150 µs).
+	DequeueCost sim.Duration
+	// EmptyCheckCost is the CPU time spent inside the queue lock to
+	// discover the queue is empty — a couple of loads, far cheaper than
+	// dequeueing (default 5 µs).
+	EmptyCheckCost sim.Duration
+	// CompleteCost is the CPU time spent inside the queue lock to
+	// retire a task and release its dependents (default 150 µs).
+	CompleteCost sim.Duration
+	// IdleSpin is how long a worker with no ready task busy-waits
+	// before rechecking the queue (default 500 µs). Idle workers burn
+	// CPU, as the Brown package's busy-waiting workers do.
+	IdleSpin sim.Duration
+	// OnTaskDone, if set, is called (inside the queue lock, at the
+	// task's retirement instant) for every completed task — tracing and
+	// tests use it to observe execution order.
+	OnTaskDone func(TaskID)
+	// RecordLatency makes the runtime keep per-task timing (ready,
+	// start, done instants) for LatencyStats.
+	RecordLatency bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	if c.WorkingSet == 0 {
+		c.WorkingSet = 256 << 10
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 6 * sim.Second
+	}
+	if c.DequeueCost <= 0 {
+		c.DequeueCost = 150 * sim.Microsecond
+	}
+	if c.CompleteCost <= 0 {
+		c.CompleteCost = 150 * sim.Microsecond
+	}
+	if c.EmptyCheckCost <= 0 {
+		c.EmptyCheckCost = 5 * sim.Microsecond
+	}
+	if c.IdleSpin <= 0 {
+		c.IdleSpin = 500 * sim.Microsecond
+	}
+	return c
+}
+
+// Stats is per-application runtime accounting.
+type Stats struct {
+	TasksRun    int64
+	Suspensions int64 // process-control suspensions
+	Resumes     int64 // process-control resumes
+	Polls       int64 // server polls issued
+	IdleSpins   int64 // empty-queue spin episodes
+}
+
+// App is one running application instance: a workload being executed by
+// a set of kernel processes under the (optionally control-enabled)
+// threads runtime.
+type App struct {
+	id   kernel.AppID
+	name string
+	wl   *Workload
+	k    *kernel.Kernel
+	cfg  Config
+
+	qlock    *kernel.SpinLock   // guards ready/depsLeft/remaining
+	locks    []*kernel.SpinLock // application locks, by LockID
+	ready    []TaskID           // FIFO ready queue
+	depsLeft []int
+	remain   int
+
+	suspendQ *kernel.WaitQueue
+	target   int // desired runnable processes, from the last poll
+	runnable int // workers not suspended (and not pending-wake)
+	lastPoll sim.Time
+	polled   bool
+
+	procs    []*kernel.Process
+	started  sim.Time
+	finished sim.Time
+	done     bool
+
+	// Per-task timing, kept when cfg.RecordLatency is set.
+	readyAt []sim.Time
+	startAt []sim.Time
+	doneAt  []sim.Time
+
+	Stats Stats
+}
+
+// Launch starts the workload on k as application id with cfg.Procs
+// processes. It registers with the controller (if any) and returns
+// immediately; the application runs as the simulation advances.
+func Launch(k *kernel.Kernel, id kernel.AppID, wl *Workload, cfg Config) *App {
+	if id == kernel.AppNone {
+		panic("threads: Launch requires a non-zero AppID")
+	}
+	if err := wl.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	a := &App{
+		id:       id,
+		name:     wl.Name,
+		wl:       wl,
+		k:        k,
+		cfg:      cfg,
+		qlock:    kernel.NewSpinLock(fmt.Sprintf("%s/queue", wl.Name)),
+		suspendQ: kernel.NewWaitQueue(fmt.Sprintf("%s/suspend", wl.Name)),
+		depsLeft: make([]int, wl.Len()),
+		remain:   wl.Len(),
+		target:   cfg.Procs,
+		runnable: cfg.Procs,
+		started:  k.Now(),
+		lastPoll: k.Now(),
+	}
+	for i := 0; i < wl.NumLocks(); i++ {
+		a.locks = append(a.locks, kernel.NewSpinLock(fmt.Sprintf("%s/lock%d", wl.Name, i)))
+	}
+	if cfg.RecordLatency {
+		a.readyAt = make([]sim.Time, wl.Len())
+		a.startAt = make([]sim.Time, wl.Len())
+		a.doneAt = make([]sim.Time, wl.Len())
+	}
+	for i := 0; i < wl.Len(); i++ {
+		a.depsLeft[i] = wl.tasks[i].ndeps
+		if a.depsLeft[i] == 0 {
+			a.ready = append(a.ready, TaskID(i))
+			if cfg.RecordLatency {
+				a.readyAt[i] = a.started
+			}
+		}
+	}
+	if cfg.Controller != nil {
+		cfg.Controller.Register(id, cfg.Procs)
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		p := k.Spawn(fmt.Sprintf("%s/w%d", wl.Name, i), id, cfg.WorkingSet, a.worker)
+		a.procs = append(a.procs, p)
+	}
+	return a
+}
+
+// ID returns the application's kernel AppID.
+func (a *App) ID() kernel.AppID { return a.id }
+
+// Name returns the workload name.
+func (a *App) Name() string { return a.name }
+
+// Workload returns the workload being executed.
+func (a *App) Workload() *Workload { return a.wl }
+
+// Procs returns the kernel processes, in creation order.
+func (a *App) Procs() []*kernel.Process { return a.procs }
+
+// Done reports whether every task has finished.
+func (a *App) Done() bool { return a.done }
+
+// Elapsed returns the wall-clock (virtual) time from launch to the last
+// task's completion; it panics if the application has not finished.
+func (a *App) Elapsed() sim.Duration {
+	if !a.done {
+		panic(fmt.Sprintf("threads: %s has not finished", a.name))
+	}
+	return a.finished.Sub(a.started)
+}
+
+// QueueLock exposes the ready-queue lock for instrumentation.
+func (a *App) QueueLock() *kernel.SpinLock { return a.qlock }
+
+// Runnable returns the number of workers currently not suspended by
+// process control.
+func (a *App) Runnable() int { return a.runnable }
+
+// Target returns the most recently polled server target.
+func (a *App) Target() int { return a.target }
+
+// worker is the per-process body: the threads runtime's scheduler loop.
+func (a *App) worker(env *kernel.Env) {
+	for {
+		if a.done {
+			return
+		}
+		// Safe suspension point: between tasks, holding nothing.
+		a.controlPoint(env)
+		if a.done {
+			return
+		}
+
+		env.Acquire(a.qlock)
+		t := a.dequeue()
+		if t < 0 {
+			env.Compute(a.cfg.EmptyCheckCost)
+		} else {
+			env.Compute(a.cfg.DequeueCost)
+			if a.readyAt != nil {
+				a.startAt[t] = env.Now()
+			}
+		}
+		env.Release(a.qlock)
+
+		if t < 0 {
+			if a.remain == 0 {
+				return
+			}
+			// Nothing ready (a dependency is still executing): spin a
+			// little and recheck, burning CPU like the paper's idle
+			// busy-waiting workers.
+			a.Stats.IdleSpins++
+			env.Compute(a.cfg.IdleSpin)
+			continue
+		}
+
+		a.execute(env, t)
+
+		env.Acquire(a.qlock)
+		env.Compute(a.cfg.CompleteCost)
+		finished := a.complete(t)
+		if a.readyAt != nil {
+			a.doneAt[t] = env.Now()
+		}
+		if a.cfg.OnTaskDone != nil {
+			a.cfg.OnTaskDone(t)
+		}
+		env.Release(a.qlock)
+		a.Stats.TasksRun++
+
+		if finished {
+			a.finish(env)
+			return
+		}
+	}
+}
+
+// execute runs one task's compute and critical-section legs.
+func (a *App) execute(env *kernel.Env, id TaskID) {
+	t := a.wl.Task(id)
+	if t.Lock == NoLock || t.LockWork <= 0 {
+		env.Compute(t.Work)
+		return
+	}
+	outside := t.Work - t.LockWork
+	// Split the non-critical work around the critical section so the
+	// lock is held mid-task, as real code would.
+	env.Compute(outside / 2)
+	env.Acquire(a.locks[t.Lock])
+	env.Compute(t.LockWork)
+	env.Release(a.locks[t.Lock])
+	env.Compute(outside - outside/2)
+}
+
+// dequeue pops the next ready task, or -1. Callers hold qlock.
+func (a *App) dequeue() TaskID {
+	if len(a.ready) == 0 {
+		return -1
+	}
+	t := a.ready[0]
+	a.ready = a.ready[1:]
+	return t
+}
+
+// complete retires a task and readies its dependents; it reports whether
+// the workload just finished. Callers hold qlock.
+func (a *App) complete(id TaskID) bool {
+	for _, s := range a.wl.tasks[id].succs {
+		a.depsLeft[s]--
+		if a.depsLeft[s] == 0 {
+			a.ready = append(a.ready, s)
+			if a.readyAt != nil {
+				a.readyAt[s] = a.k.Now()
+			}
+		}
+	}
+	a.remain--
+	return a.remain == 0
+}
+
+// finish records completion, releases suspended peers so they can exit,
+// and unregisters from the controller.
+func (a *App) finish(env *kernel.Env) {
+	a.done = true
+	a.finished = env.Now()
+	if n := a.suspendQ.Len(); n > 0 {
+		env.Wake(a.suspendQ, n)
+	}
+	if a.cfg.Controller != nil {
+		a.cfg.Controller.Unregister(a.id)
+	}
+}
+
+// controlPoint is the process-control hook: poll the server when the
+// interval has elapsed, then suspend or resume to track the target. The
+// unmodified package (nil controller) does nothing here, so the added
+// overhead in the controlled-but-unloaded case is a couple of integer
+// compares — the paper's "overhead of our implementation is negligible".
+func (a *App) controlPoint(env *kernel.Env) {
+	if a.cfg.Controller == nil {
+		return
+	}
+	now := env.Now()
+	if !a.polled || now.Sub(a.lastPoll) >= a.cfg.PollInterval {
+		a.polled = true
+		a.lastPoll = now
+		a.target = a.cfg.Controller.Poll(a.id)
+		a.Stats.Polls++
+	}
+	if a.target < a.runnable && a.runnable > 1 {
+		a.runnable--
+		a.Stats.Suspensions++
+		env.Sleep(a.suspendQ)
+		// Woken: either resumed by a peer (already counted in runnable
+		// by the waker) or the application finished.
+		return
+	}
+	for a.target > a.runnable && a.suspendQ.Len() > 0 {
+		a.runnable++
+		a.Stats.Resumes++
+		env.Wake(a.suspendQ, 1)
+	}
+}
+
+// DebugState reports internal queue state for diagnostics.
+func (a *App) DebugState() (ready, remain int) { return len(a.ready), a.remain }
+
+// LatencyStats summarizes per-task timing from a RecordLatency run:
+// Wait is each task's time from becoming ready to being dequeued (the
+// queueing delay the paper's FIFO discussion is about), Span its time
+// from ready to retirement. It panics if latency recording was off.
+func (a *App) LatencyStats() (wait, span []sim.Duration) {
+	if a.readyAt == nil {
+		panic("threads: LatencyStats requires Config.RecordLatency")
+	}
+	for i := range a.readyAt {
+		if a.doneAt[i] == 0 {
+			continue // unfinished (horizon hit)
+		}
+		wait = append(wait, a.startAt[i].Sub(a.readyAt[i]))
+		span = append(span, a.doneAt[i].Sub(a.readyAt[i]))
+	}
+	return wait, span
+}

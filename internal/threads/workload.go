@@ -1,0 +1,181 @@
+// Package threads is the simulation analogue of the Brown University
+// Threads package as modified by the paper: a user-level task-queue
+// runtime that multiplexes an application's tasks onto kernel processes,
+// with process-control hooks at the safe suspension points (task
+// boundaries). Application code — the workload generators — only builds
+// task DAGs; the runtime and the process control are, as in the paper,
+// completely transparent to it.
+package threads
+
+import (
+	"fmt"
+
+	"procctl/internal/sim"
+)
+
+// TaskID indexes a task within its workload.
+type TaskID int
+
+// LockID names an application-level lock used by tasks for their
+// critical sections (e.g. a shared accumulator). Lock 0 .. NumLocks-1
+// are materialized as kernel spinlocks at launch.
+type LockID int
+
+// NoLock marks a task with no application-level critical section.
+const NoLock LockID = -1
+
+// Task is one chunk of parallel computation ("thread" in Brown package
+// terms). Tasks run to completion; a logical thread that blocks is
+// modeled as a chain of tasks linked by dependencies, which is exactly
+// how the paper's runtime requeues a partially executed thread.
+type Task struct {
+	Name string
+	// Work is the CPU time the task consumes.
+	Work sim.Duration
+	// Lock and LockWork describe an optional critical section: LockWork
+	// of the task's Work happens while holding Lock.
+	Lock     LockID
+	LockWork sim.Duration
+	// succs are tasks that cannot start until this one finishes.
+	succs []TaskID
+	// ndeps is the number of predecessor tasks.
+	ndeps int
+}
+
+// Workload is an immutable DAG of tasks plus the locks they use. Build
+// one with the Add/Dep methods, then launch it any number of times; the
+// runtime keeps its mutable progress state separately.
+type Workload struct {
+	Name     string
+	tasks    []Task
+	numLocks int
+}
+
+// NewWorkload returns an empty workload.
+func NewWorkload(name string) *Workload {
+	return &Workload{Name: name}
+}
+
+// Add appends a task with no critical section and returns its ID.
+func (w *Workload) Add(name string, work sim.Duration) TaskID {
+	return w.AddLocked(name, work, NoLock, 0)
+}
+
+// AddLocked appends a task that spends lockWork of its work holding the
+// given application lock.
+func (w *Workload) AddLocked(name string, work sim.Duration, lock LockID, lockWork sim.Duration) TaskID {
+	if work < 0 || lockWork < 0 || lockWork > work {
+		panic(fmt.Sprintf("threads: task %q has invalid work %v / lockWork %v", name, work, lockWork))
+	}
+	if lock != NoLock {
+		if int(lock) >= w.numLocks {
+			w.numLocks = int(lock) + 1
+		}
+	}
+	w.tasks = append(w.tasks, Task{Name: name, Work: work, Lock: lock, LockWork: lockWork})
+	return TaskID(len(w.tasks) - 1)
+}
+
+// Dep records that task `to` cannot start until task `from` finishes.
+func (w *Workload) Dep(from, to TaskID) {
+	if from == to {
+		panic("threads: task depends on itself")
+	}
+	w.tasks[from].succs = append(w.tasks[from].succs, to)
+	w.tasks[to].ndeps++
+}
+
+// Barrier makes every task in `to` depend on every task in `from` — the
+// workload generators use it between parallel phases.
+func (w *Workload) Barrier(from, to []TaskID) {
+	for _, f := range from {
+		for _, t := range to {
+			w.Dep(f, t)
+		}
+	}
+}
+
+// Len returns the number of tasks.
+func (w *Workload) Len() int { return len(w.tasks) }
+
+// NumLocks returns how many application locks the tasks reference.
+func (w *Workload) NumLocks() int { return w.numLocks }
+
+// Task returns a read-only view of task id.
+func (w *Workload) Task(id TaskID) *Task { return &w.tasks[id] }
+
+// TotalWork sums the work of all tasks — the sequential execution time,
+// used as the numerator of speedup.
+func (w *Workload) TotalWork() sim.Duration {
+	var total sim.Duration
+	for i := range w.tasks {
+		total += w.tasks[i].Work
+	}
+	return total
+}
+
+// CriticalPath returns the longest dependency chain's work — a lower
+// bound on parallel execution time.
+func (w *Workload) CriticalPath() sim.Duration {
+	memo := make([]sim.Duration, len(w.tasks))
+	done := make([]bool, len(w.tasks))
+	var longest func(i TaskID) sim.Duration
+	longest = func(i TaskID) sim.Duration {
+		if done[i] {
+			return memo[i]
+		}
+		done[i] = true // set before recursion; DAG has no cycles by construction
+		var best sim.Duration
+		for _, s := range w.tasks[i].succs {
+			if d := longest(s); d > best {
+				best = d
+			}
+		}
+		memo[i] = best + w.tasks[i].Work
+		return memo[i]
+	}
+	var best sim.Duration
+	for i := range w.tasks {
+		if w.tasks[i].ndeps == 0 {
+			if d := longest(TaskID(i)); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Validate checks the DAG for executability: at least one root and no
+// unreachable tasks under Kahn's algorithm (which also rejects cycles).
+func (w *Workload) Validate() error {
+	if len(w.tasks) == 0 {
+		return fmt.Errorf("threads: workload %q has no tasks", w.Name)
+	}
+	deg := make([]int, len(w.tasks))
+	for i := range w.tasks {
+		deg[i] = w.tasks[i].ndeps
+	}
+	var queue []TaskID
+	for i := range w.tasks {
+		if deg[i] == 0 {
+			queue = append(queue, TaskID(i))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, s := range w.tasks[t].succs {
+			deg[s]--
+			if deg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if seen != len(w.tasks) {
+		return fmt.Errorf("threads: workload %q has a dependency cycle or unreachable tasks (%d of %d reachable)",
+			w.Name, seen, len(w.tasks))
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package threads
+
+import (
+	"testing"
+
+	"procctl/internal/sim"
+)
+
+func TestWorkloadBuild(t *testing.T) {
+	w := NewWorkload("test")
+	a := w.Add("a", 10*sim.Millisecond)
+	b := w.Add("b", 20*sim.Millisecond)
+	c := w.AddLocked("c", 30*sim.Millisecond, 0, 5*sim.Millisecond)
+	w.Dep(a, b)
+	w.Dep(a, c)
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if w.NumLocks() != 1 {
+		t.Fatalf("NumLocks = %d", w.NumLocks())
+	}
+	if w.TotalWork() != 60*sim.Millisecond {
+		t.Errorf("TotalWork = %v", w.TotalWork())
+	}
+	if w.Task(b).ndeps != 1 || len(w.Task(a).succs) != 2 {
+		t.Error("dependency bookkeeping wrong")
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("valid workload rejected: %v", err)
+	}
+}
+
+func TestWorkloadInvalidTask(t *testing.T) {
+	w := NewWorkload("bad")
+	defer func() {
+		if recover() == nil {
+			t.Error("lockWork > work accepted")
+		}
+	}()
+	w.AddLocked("x", 10, 0, 20)
+}
+
+func TestWorkloadSelfDep(t *testing.T) {
+	w := NewWorkload("bad")
+	a := w.Add("a", 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("self-dependency accepted")
+		}
+	}()
+	w.Dep(a, a)
+}
+
+func TestWorkloadCycleDetected(t *testing.T) {
+	w := NewWorkload("cycle")
+	a := w.Add("a", 10)
+	b := w.Add("b", 10)
+	w.Dep(a, b)
+	w.Dep(b, a)
+	if err := w.Validate(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestWorkloadEmptyInvalid(t *testing.T) {
+	if err := NewWorkload("empty").Validate(); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	w := NewWorkload("barrier")
+	var front, back []TaskID
+	for i := 0; i < 3; i++ {
+		front = append(front, w.Add("f", 10))
+	}
+	for i := 0; i < 2; i++ {
+		back = append(back, w.Add("b", 10))
+	}
+	w.Barrier(front, back)
+	for _, id := range back {
+		if w.Task(id).ndeps != 3 {
+			t.Errorf("task %d has %d deps, want 3", id, w.Task(id).ndeps)
+		}
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("barriered workload invalid: %v", err)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	w := NewWorkload("cp")
+	a := w.Add("a", 10*sim.Millisecond)
+	b := w.Add("b", 20*sim.Millisecond)
+	c := w.Add("c", 30*sim.Millisecond)
+	d := w.Add("d", 5*sim.Millisecond)
+	w.Dep(a, b) // chain a->b = 30
+	w.Dep(a, c) // chain a->c = 40
+	w.Dep(c, d) // chain a->c->d = 45
+	if got := w.CriticalPath(); got != 45*sim.Millisecond {
+		t.Errorf("CriticalPath = %v, want 45ms", got)
+	}
+}
+
+func TestCriticalPathIndependent(t *testing.T) {
+	w := NewWorkload("flat")
+	for i := 0; i < 5; i++ {
+		w.Add("t", sim.Duration(i+1)*sim.Millisecond)
+	}
+	if got := w.CriticalPath(); got != 5*sim.Millisecond {
+		t.Errorf("CriticalPath = %v, want 5ms (longest single task)", got)
+	}
+}

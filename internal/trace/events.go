@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"procctl/internal/kernel"
+	"procctl/internal/sim"
+)
+
+// Event is one scheduling event in a recorded trace, serialized as one
+// JSON object per line. Kinds: "spawn", "state" (From→To transition),
+// "exit".
+type Event struct {
+	T    sim.Time     `json:"t"`
+	Kind string       `json:"kind"`
+	PID  kernel.PID   `json:"pid"`
+	App  kernel.AppID `json:"app"`
+	Name string       `json:"name,omitempty"`
+	From string       `json:"from,omitempty"`
+	To   string       `json:"to,omitempty"`
+	CPU  int          `json:"cpu,omitempty"`
+}
+
+// Recorder streams kernel scheduling events as JSON lines — the
+// simulator's equivalent of a kernel scheduling tracepoint log. Analyze
+// the output with ReadSummary (or cmd/procctl-trace).
+type Recorder struct {
+	w      *bufio.Writer
+	enc    *json.Encoder
+	err    error
+	events int64
+}
+
+// NewRecorder installs a recorder on k writing to w. It chains any
+// hooks already installed.
+func NewRecorder(k *kernel.Kernel, w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	r := &Recorder{w: bw, enc: json.NewEncoder(bw)}
+
+	prevSpawn := k.OnSpawn
+	k.OnSpawn = func(p *kernel.Process) {
+		if prevSpawn != nil {
+			prevSpawn(p)
+		}
+		r.emit(Event{T: k.Now(), Kind: "spawn", PID: p.ID(), App: p.App(), Name: p.Name()})
+	}
+	prevState := k.OnStateChange
+	k.OnStateChange = func(p *kernel.Process, old, next kernel.ProcState) {
+		if prevState != nil {
+			prevState(p, old, next)
+		}
+		ev := Event{T: k.Now(), Kind: "state", PID: p.ID(), App: p.App(),
+			From: old.String(), To: next.String()}
+		if next == kernel.Running {
+			ev.CPU = p.LastCPU()
+		}
+		r.emit(ev)
+	}
+	prevExit := k.OnExit
+	k.OnExit = func(p *kernel.Process) {
+		if prevExit != nil {
+			prevExit(p)
+		}
+		r.emit(Event{T: k.Now(), Kind: "exit", PID: p.ID(), App: p.App(), Name: p.Name()})
+	}
+	return r
+}
+
+func (r *Recorder) emit(ev Event) {
+	if r.err != nil {
+		return
+	}
+	r.events++
+	r.err = r.enc.Encode(ev)
+}
+
+// Events returns how many events were recorded.
+func (r *Recorder) Events() int64 { return r.events }
+
+// Flush drains buffered output; call it when the simulation ends.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// AppSummary aggregates one application's trace.
+type AppSummary struct {
+	App         kernel.AppID
+	Procs       int
+	Running     sim.Duration // total process-time in Running
+	Runnable    sim.Duration // total process-time waiting on a run queue
+	Blocked     sim.Duration // total process-time asleep (incl. suspension)
+	Dispatches  int64
+	FirstSpawn  sim.Time
+	LastExit    sim.Time
+	exitedProcs int
+}
+
+// Summary is the analysis of a recorded trace.
+type Summary struct {
+	Events int64
+	End    sim.Time
+	Apps   []AppSummary // sorted by AppID (AppNone first)
+}
+
+// ReadSummary parses a JSONL trace and aggregates per-application state
+// residency. Unknown lines are an error; a trace truncated mid-run is
+// fine (open intervals are dropped).
+func ReadSummary(rd io.Reader) (*Summary, error) {
+	dec := json.NewDecoder(bufio.NewReader(rd))
+	type pstate struct {
+		app   kernel.AppID
+		state string
+		since sim.Time
+	}
+	procs := make(map[kernel.PID]*pstate)
+	agg := make(map[kernel.AppID]*AppSummary)
+	get := func(app kernel.AppID) *AppSummary {
+		s, ok := agg[app]
+		if !ok {
+			s = &AppSummary{App: app, FirstSpawn: -1}
+			agg[app] = s
+		}
+		return s
+	}
+	sum := &Summary{}
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", sum.Events+1, err)
+		}
+		sum.Events++
+		if ev.T > sum.End {
+			sum.End = ev.T
+		}
+		switch ev.Kind {
+		case "spawn":
+			procs[ev.PID] = &pstate{app: ev.App, state: "runnable", since: ev.T}
+			a := get(ev.App)
+			a.Procs++
+			if a.FirstSpawn < 0 {
+				a.FirstSpawn = ev.T
+			}
+		case "state":
+			ps, ok := procs[ev.PID]
+			if !ok {
+				// State before spawn (trace began mid-run): start now.
+				ps = &pstate{app: ev.App, state: ev.To, since: ev.T}
+				procs[ev.PID] = ps
+				break
+			}
+			a := get(ev.App)
+			d := ev.T.Sub(ps.since)
+			switch ps.state {
+			case "running":
+				a.Running += d
+			case "runnable":
+				a.Runnable += d
+			case "blocked":
+				a.Blocked += d
+			}
+			if ev.To == "running" {
+				a.Dispatches++
+			}
+			ps.state = ev.To
+			ps.since = ev.T
+		case "exit":
+			a := get(ev.App)
+			a.exitedProcs++
+			if ev.T > a.LastExit {
+				a.LastExit = ev.T
+			}
+			delete(procs, ev.PID)
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %q", ev.Kind)
+		}
+	}
+	for _, a := range agg {
+		sum.Apps = append(sum.Apps, *a)
+	}
+	sort.Slice(sum.Apps, func(i, j int) bool { return sum.Apps[i].App < sum.Apps[j].App })
+	return sum, nil
+}
+
+// Render prints the summary as a table.
+func (s *Summary) Render() string {
+	t := NewTable(
+		fmt.Sprintf("Trace summary: %d events over %v", s.Events, s.End),
+		"app", "procs", "running", "ready-wait", "blocked", "dispatches", "span")
+	for _, a := range s.Apps {
+		label := fmt.Sprintf("app %d", a.App)
+		if a.App == kernel.AppNone {
+			label = "system"
+		}
+		span := sim.Duration(0)
+		if a.LastExit > 0 && a.FirstSpawn >= 0 {
+			span = a.LastExit.Sub(a.FirstSpawn)
+		}
+		t.Row(label, a.Procs, a.Running, a.Runnable, a.Blocked, a.Dispatches, span)
+	}
+	return t.String()
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"procctl/internal/sim"
+)
+
+// Histogram accumulates durations in logarithmic buckets (powers of two
+// microseconds) and answers quantile queries exactly from a retained
+// sample when small, or approximately from buckets when large.
+type Histogram struct {
+	buckets [64]int64
+	count   int64
+	sum     sim.Duration
+	min     sim.Duration
+	max     sim.Duration
+
+	// exact retains individual values up to exactCap for precise
+	// quantiles on small populations.
+	exact    []sim.Duration
+	exactCap int
+	sorted   bool
+}
+
+// NewHistogram returns an empty histogram retaining up to 4096 exact
+// values.
+func NewHistogram() *Histogram {
+	return &Histogram{exactCap: 4096, min: math.MaxInt64}
+}
+
+func bucketOf(d sim.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := 64 - 1
+	for i := 0; i < 63; i++ {
+		if d < 1<<uint(i) {
+			b = i
+			return b
+		}
+	}
+	return b
+}
+
+// Add records one duration.
+func (h *Histogram) Add(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.exact) < h.exactCap {
+		h.exact = append(h.exact, d)
+		h.sorted = false
+	}
+	// Past exactCap, quantiles fall back to bucket interpolation.
+}
+
+// Count returns the number of recorded durations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average duration (0 when empty).
+func (h *Histogram) Mean() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.count)
+}
+
+// Min and Max return the extremes (0 when empty).
+func (h *Histogram) Min() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded duration.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1). Exact while the
+// population fits the retained sample; bucket upper bounds otherwise.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if int64(len(h.exact)) == h.count {
+		if !h.sorted {
+			sort.Slice(h.exact, func(i, j int) bool { return h.exact[i] < h.exact[j] })
+			h.sorted = true
+		}
+		idx := int(q * float64(len(h.exact)-1))
+		return h.exact[idx]
+	}
+	// Bucket walk.
+	target := int64(q * float64(h.count))
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > target {
+			return sim.Duration(1) << uint(i) // bucket upper bound
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d min=%v p50=%v p95=%v p99=%v max=%v mean=%v",
+		h.count, h.Min(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.max, h.Mean())
+}
+
+// Bars renders a compact vertical profile of the non-empty buckets.
+func (h *Histogram) Bars(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	lo, hi := -1, -1
+	var peak int64
+	for i, n := range h.buckets {
+		if n > 0 {
+			if lo == -1 {
+				lo = i
+			}
+			hi = i
+			if n > peak {
+				peak = n
+			}
+		}
+	}
+	if lo == -1 {
+		return "empty\n"
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		n := h.buckets[i]
+		bar := int(float64(n) / float64(peak) * float64(width))
+		label := sim.Duration(1) << uint(i)
+		fmt.Fprintf(&b, "%10v |%-*s %d\n", label, width, strings.Repeat("#", bar), n)
+	}
+	return b.String()
+}

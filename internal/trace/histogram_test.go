@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"procctl/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram not all-zero")
+	}
+	if h.String() != "empty" {
+		t.Errorf("String = %q", h.String())
+	}
+	if !strings.Contains(h.Bars(10), "empty") {
+		t.Error("Bars on empty")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []sim.Duration{10, 20, 30, 40, 50} {
+		h.Add(d * sim.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 30*sim.Millisecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 10*sim.Millisecond || h.Max() != 50*sim.Millisecond {
+		t.Errorf("extremes %v..%v", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 30*sim.Millisecond {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := h.Quantile(0); q != 10*sim.Millisecond {
+		t.Errorf("p0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 50*sim.Millisecond {
+		t.Errorf("p100 = %v", q)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	r := sim.NewRNG(5)
+	for i := 0; i < 10000; i++ { // beyond exactCap: bucket fallback
+		h.Add(r.Duration(0, 10*sim.Second))
+	}
+	err := quick.Check(func(a, b uint8) bool {
+		qa, qb := float64(a)/255, float64(b)/255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBucketFallbackAccuracy(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10000; i++ {
+		h.Add(sim.Duration(i) * sim.Microsecond) // uniform 0..10ms
+	}
+	p50 := h.Quantile(0.5)
+	// Bucket bounds are powers of two: the true p50 (5ms) falls in the
+	// (4ms, 8ms] bucket, so the estimate must be 8.388ms (2^23 µs).
+	if p50 < 5*sim.Millisecond || p50 > 16*sim.Millisecond {
+		t.Errorf("p50 estimate %v too far from 5ms", p50)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Add(-5)
+	if h.Min() != 0 {
+		t.Errorf("negative not clamped: %v", h.Min())
+	}
+}
+
+func TestHistogramBars(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Add(sim.Millisecond)
+	}
+	h.Add(sim.Second)
+	out := h.Bars(20)
+	if strings.Count(out, "\n") < 2 {
+		t.Errorf("Bars too short:\n%s", out)
+	}
+	if !strings.Contains(out, "10") || !strings.Contains(out, "1") {
+		t.Errorf("counts missing:\n%s", out)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Add(sim.Millisecond)
+	s := h.String()
+	for _, want := range []string{"n=1", "p50=", "p99=", "mean="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package trace collects time series and summary statistics from a
+// simulation and renders them as aligned text tables — the repository's
+// stand-in for the paper's figures.
+package trace
+
+import (
+	"procctl/internal/kernel"
+	"procctl/internal/sim"
+)
+
+// Sample is one observation of system load.
+type Sample struct {
+	At           sim.Time
+	PerApp       map[kernel.AppID]int // runnable+running processes per application
+	Uncontrolled int
+	Total        int
+}
+
+// Sampler periodically records how many runnable processes each
+// application has — the measurement plotted in the paper's Figure 5.
+type Sampler struct {
+	k       *kernel.Kernel
+	Samples []Sample
+	cancel  func()
+}
+
+// NewSampler installs a sampler on k's engine with the given period.
+func NewSampler(k *kernel.Kernel, period sim.Duration) *Sampler {
+	s := &Sampler{k: k}
+	s.take() // sample at t=0
+	s.cancel = k.Engine().Every(period, func() bool {
+		s.take()
+		return true
+	})
+	return s
+}
+
+// Stop halts future sampling.
+func (s *Sampler) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+}
+
+func (s *Sampler) take() {
+	perApp, un := s.k.CountByApp()
+	total := un
+	for _, n := range perApp {
+		total += n
+	}
+	s.Samples = append(s.Samples, Sample{
+		At:           s.k.Now(),
+		PerApp:       perApp,
+		Uncontrolled: un,
+		Total:        total,
+	})
+}
+
+// Series extracts one application's time series (zero where absent).
+func (s *Sampler) Series(app kernel.AppID) (times []sim.Time, counts []int) {
+	for _, smp := range s.Samples {
+		times = append(times, smp.At)
+		counts = append(counts, smp.PerApp[app])
+	}
+	return times, counts
+}
+
+// TotalSeries extracts the system-wide runnable count series.
+func (s *Sampler) TotalSeries() (times []sim.Time, counts []int) {
+	for _, smp := range s.Samples {
+		times = append(times, smp.At)
+		counts = append(counts, smp.Total)
+	}
+	return times, counts
+}
+
+// MaxTotal returns the peak system-wide runnable count observed.
+func (s *Sampler) MaxTotal() int {
+	max := 0
+	for _, smp := range s.Samples {
+		if smp.Total > max {
+			max = smp.Total
+		}
+	}
+	return max
+}
+
+// MeanTotalBetween averages the total runnable count over [from, to].
+func (s *Sampler) MeanTotalBetween(from, to sim.Time) float64 {
+	sum, n := 0, 0
+	for _, smp := range s.Samples {
+		if smp.At >= from && smp.At <= to {
+			sum += smp.Total
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
