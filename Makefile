@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build vet procctl-vet test race bench
+
+# The full verification gate: what CI runs, in dependency order.
+check: build vet procctl-vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Repo-specific analyzers: determinism, map order, lock discipline,
+# goroutine joins. Exit 1 on findings — see README.md / DESIGN.md.
+procctl-vet:
+	$(GO) run ./cmd/procctl-vet ./...
+
+test:
+	$(GO) test ./...
+
+# The real-concurrency layer under the race detector; the simulator is
+# single-threaded by construction and needs no race pass.
+race:
+	$(GO) test -race ./internal/runtime/...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -1,0 +1,289 @@
+// Package analysis is a stdlib-only static-analysis framework for this
+// repository. It exists because the entire experimental claim of the
+// reproduction rests on the simulator being deterministic: identical
+// seeds must yield identical schedules, or the paper's figures are not
+// reproducible. The four analyzers (nondeterminism, maporder,
+// lockdiscipline, ctxleak) enforce that invariant — plus basic lock
+// discipline in the real-concurrency runtime — at vet time, with
+// findings suitable for CI. The cmd/procctl-vet command is the driver.
+//
+// # Determinism policy and exemptions
+//
+// The determinism analyzers apply only to the simulation packages (see
+// SimPackages). The exemptions are explicit policy, not accidents:
+//
+//   - cmd/... is exempt: wall-clock timing for user-facing progress
+//     output is fine there (cmd/procctl-sim uses time.Now to print
+//     "[fig1 took 1.2s]" banners); nothing in cmd/ feeds back into
+//     simulation state, so it cannot perturb event order.
+//   - internal/runtime/... is exempt from nondeterminism: it is real
+//     concurrency by design (the paper's user-level runtime transplanted
+//     to modern Go). It is guarded instead by lockdiscipline, ctxleak,
+//     and the -race stress tests under internal/runtime.
+//   - internal/trace is exempt from nondeterminism (it is post-hoc
+//     analysis, not simulation) but maporder still applies: rendering a
+//     table from map-iteration order would make reports unstable.
+//
+// # Suppression pragmas
+//
+// A finding can be suppressed with a pragma comment on the same line or
+// the line immediately above:
+//
+//	//procctl:allow-<pragma> <one-line justification>
+//
+// where <pragma> is the analyzer's pragma name (nondeterminism,
+// maporder, unlocked, ctxleak). The justification is mandatory; a
+// pragma without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one report from an analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in -list output.
+	Name string
+	// Doc is a one-paragraph description of what it checks.
+	Doc string
+	// Pragma is the suffix accepted in //procctl:allow-<Pragma> comments
+	// to suppress this analyzer's findings.
+	Pragma string
+	// Run inspects the pass's package and reports findings.
+	Run func(*Pass)
+}
+
+// All returns every analyzer in presentation order.
+func All() []*Analyzer {
+	return []*Analyzer{Nondeterminism, MapOrder, LockDiscipline, CtxLeak}
+}
+
+// SimPackages lists the module-relative package prefixes whose behaviour
+// must be a pure function of the experiment seed. The nondeterminism
+// analyzer applies to these packages (and their subpackages) only.
+var SimPackages = []string{
+	"internal/sim",
+	"internal/machine",
+	"internal/kernel",
+	"internal/threads",
+	"internal/experiments",
+	"internal/apps",
+	"internal/core",
+	"internal/ctrl",
+}
+
+// OrderedPackages lists additional package prefixes where map-iteration
+// order must not leak into output (reports, tables), beyond SimPackages.
+var OrderedPackages = []string{
+	"internal/trace",
+}
+
+// relPath strips the module path prefix from an import path, so policy
+// lists can be written module-relative.
+func relPath(importPath string) string {
+	if i := strings.Index(importPath, "internal/"); i >= 0 {
+		return importPath[i:]
+	}
+	return importPath
+}
+
+func underAny(importPath string, prefixes []string) bool {
+	rel := relPath(importPath)
+	for _, p := range prefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSimPath reports whether the import path is in the deterministic
+// simulation set.
+func IsSimPath(importPath string) bool { return underAny(importPath, SimPackages) }
+
+// IsOrderedPath reports whether map-iteration order is constrained in
+// the package (sim set plus report-producing packages).
+func IsOrderedPath(importPath string) bool {
+	return IsSimPath(importPath) || underAny(importPath, OrderedPackages)
+}
+
+// Pass is one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package import path.
+	Path string
+	// IsSim marks packages whose behaviour must be seed-deterministic.
+	IsSim bool
+	// IsOrdered marks packages where map-iteration order must not leak
+	// into results (IsSim plus report producers like internal/trace).
+	IsOrdered bool
+
+	pragmas  pragmaIndex
+	findings []Finding
+}
+
+// Reportf records a finding at pos unless a matching suppression pragma
+// covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.pragmas.suppresses(p.Analyzer.Pragma, position) {
+		return
+	}
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// pkgNameOf resolves an identifier to the imported package it names, or
+// nil if it is not a package qualifier.
+func (p *Pass) pkgNameOf(id *ast.Ident) *types.Package {
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported()
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call is pkgPath.<one of names>(...).
+func (p *Pass) isPkgFunc(call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg := p.pkgNameOf(id)
+	if pkg == nil || pkg.Path() != pkgPath {
+		return "", false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// pragma is one //procctl:allow-<name> <reason> comment.
+type pragma struct {
+	name   string
+	reason string
+	pos    token.Position
+}
+
+// pragmaIndex maps file -> line -> pragma.
+type pragmaIndex map[string]map[int]pragma
+
+var pragmaRE = regexp.MustCompile(`^//procctl:allow-([a-z]+)(?:\s+(.*))?$`)
+
+func collectPragmas(fset *token.FileSet, files []*ast.File) pragmaIndex {
+	idx := make(pragmaIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := pragmaRE.FindStringSubmatch(strings.TrimSpace(c.Text))
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]pragma)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = pragma{name: m[1], reason: strings.TrimSpace(m[2]), pos: pos}
+			}
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether a pragma named name covers the line of pos
+// (same line or the line immediately above).
+func (idx pragmaIndex) suppresses(name string, pos token.Position) bool {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if pr, ok := byLine[line]; ok && pr.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs the given analyzers over a loaded package and
+// returns the findings sorted by position. Pragmas with no
+// justification are reported unconditionally: the escape hatch requires
+// a reason.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
+	pragmas := collectPragmas(pkg.Fset, pkg.Files)
+	var out []Finding
+	for _, byLine := range pragmas {
+		for _, pr := range byLine {
+			if pr.reason == "" {
+				out = append(out, Finding{
+					Analyzer: "pragma",
+					Pos:      pr.pos,
+					Message:  fmt.Sprintf("procctl:allow-%s pragma needs a one-line justification", pr.name),
+				})
+			}
+		}
+	}
+	for _, az := range analyzers {
+		pass := &Pass{
+			Analyzer:  az,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			Path:      pkg.Path,
+			IsSim:     IsSimPath(pkg.Path),
+			IsOrdered: IsOrderedPath(pkg.Path),
+			pragmas:   pragmas,
+		}
+		az.Run(pass)
+		out = append(out, pass.findings...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}

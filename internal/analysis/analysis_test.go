@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture loader is shared so the stdlib is type-checked once per
+// test process.
+var (
+	loaderOnce sync.Once
+	loaderErr  error
+	loader     *Loader
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// loadFixture loads testdata/src/<dir> under a synthetic import path
+// that places it in the right analysis scope.
+func loadFixture(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	l := sharedLoader(t)
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(abs, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	return pkg
+}
+
+var wantRE = regexp.MustCompile(`want "([^"]+)"`)
+
+// checkFixture runs all analyzers over the fixture and matches findings
+// against its `// want "substring"` comments, both directions.
+func checkFixture(t *testing.T, pkg *Package) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[key{pos.Filename, pos.Line}] = m[1]
+			}
+		}
+	}
+	findings := RunAnalyzers(pkg, All())
+	matched := make(map[key]bool)
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		want, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("finding at %s:%d = %q, want substring %q", k.file, k.line, f.Message, want)
+		}
+		matched[k] = true
+	}
+	for k, want := range wants {
+		if !matched[k] {
+			t.Errorf("missing finding at %s:%d matching %q", filepath.Base(k.file), k.line, want)
+		}
+	}
+}
+
+func TestNondeterminismFixtures(t *testing.T) {
+	checkFixture(t, loadFixture(t, "nondet/bad", "procctl/internal/sim/nondetbad"))
+	checkFixture(t, loadFixture(t, "nondet/good", "procctl/internal/sim/nondetgood"))
+}
+
+func TestMapOrderFixtures(t *testing.T) {
+	checkFixture(t, loadFixture(t, "maporder/bad", "procctl/internal/trace/mapbad"))
+	checkFixture(t, loadFixture(t, "maporder/good", "procctl/internal/trace/mapgood"))
+}
+
+func TestLockDisciplineFixtures(t *testing.T) {
+	checkFixture(t, loadFixture(t, "lock/bad", "procctl/internal/runtime/lockbad"))
+	checkFixture(t, loadFixture(t, "lock/good", "procctl/internal/runtime/lockgood"))
+}
+
+func TestCtxLeakFixtures(t *testing.T) {
+	checkFixture(t, loadFixture(t, "ctxleak/bad", "procctl/internal/runtime/leakbad"))
+	checkFixture(t, loadFixture(t, "ctxleak/good", "procctl/internal/runtime/leakgood"))
+}
+
+// TestPragmaNeedsReason asserts that a reasonless pragma is itself a
+// finding (even though it still suppresses, CI stays red until a
+// justification is written).
+func TestPragmaNeedsReason(t *testing.T) {
+	pkg := loadFixture(t, "pragma/bad", "procctl/internal/runtime/pragmabad")
+	findings := RunAnalyzers(pkg, All())
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings %v, want exactly 1", len(findings), findings)
+	}
+	if f := findings[0]; f.Analyzer != "pragma" || !strings.Contains(f.Message, "needs a one-line justification") {
+		t.Fatalf("got %s, want pragma-justification finding", f)
+	}
+}
+
+// TestRepoIsClean runs every analyzer over the entire module — the same
+// gate cmd/procctl-vet applies in CI. A regression anywhere in the sim
+// or runtime packages fails this test with the offending position.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis in -short mode")
+	}
+	l := sharedLoader(t)
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 15 {
+		t.Fatalf("Expand(./...) found only %d packages: %v", len(paths), paths)
+	}
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, f := range RunAnalyzers(pkg, All()) {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+func TestScopePredicates(t *testing.T) {
+	cases := []struct {
+		path         string
+		sim, ordered bool
+	}{
+		{"procctl/internal/sim", true, true},
+		{"procctl/internal/kernel", true, true},
+		{"procctl/internal/experiments", true, true},
+		{"procctl/internal/trace", false, true},
+		{"procctl/internal/runtime/coordinator", false, false},
+		{"procctl/internal/runtime/pool", false, false},
+		{"procctl/cmd/procctl-sim", false, false},
+		{"procctl", false, false},
+	}
+	for _, c := range cases {
+		if got := IsSimPath(c.path); got != c.sim {
+			t.Errorf("IsSimPath(%q) = %v, want %v", c.path, got, c.sim)
+		}
+		if got := IsOrderedPath(c.path); got != c.ordered {
+			t.Errorf("IsOrderedPath(%q) = %v, want %v", c.path, got, c.ordered)
+		}
+	}
+}
+
+func TestExpandSinglePackage(t *testing.T) {
+	l := sharedLoader(t)
+	paths, err := l.Expand([]string{"./internal/sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != l.ModulePath+"/internal/sim" {
+		t.Fatalf("Expand(./internal/sim) = %v", paths)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "nondeterminism", Message: "m"}
+	f.Pos.Filename, f.Pos.Line, f.Pos.Column = "x.go", 3, 7
+	if got, want := fmt.Sprint(f), "x.go:3:7: [nondeterminism] m"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

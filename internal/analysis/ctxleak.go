@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxLeak flags `go func` literals in non-cmd packages whose body shows
+// no completion signal: no WaitGroup Done, no channel operation, no
+// select, no context use. Such a goroutine cannot be joined, so Close
+// and Shutdown paths cannot prove it has stopped — the test process (or
+// a production server draining for restart) leaks it. Named-function
+// spawns (`go s.handle(conn)`) are not examined: the callee owns its own
+// join discipline. Suppress deliberate fire-and-forget goroutines with
+// //procctl:allow-ctxleak <reason>.
+var CtxLeak = &Analyzer{
+	Name:   "ctxleak",
+	Pragma: "ctxleak",
+	Doc: "flag go-func literals outside cmd/ with no visible join (WaitGroup/channel/select/context): " +
+		"unjoinable goroutines leak past Close/Shutdown",
+	Run: runCtxLeak,
+}
+
+func runCtxLeak(pass *Pass) {
+	if rel := relPath(pass.Path); strings.HasPrefix(rel, "cmd/") || strings.Contains(pass.Path, "/cmd/") {
+		return // cmd binaries may spawn process-lifetime goroutines
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasJoinEvidence(pass, lit) {
+				pass.Reportf(gs.Pos(), "goroutine has no visible completion signal (WaitGroup Done, channel op, select, or context): it cannot be joined on shutdown")
+			}
+			return true
+		})
+	}
+}
+
+// hasJoinEvidence scans a goroutine body for any coordination primitive
+// that could let another goroutine observe its progress or completion.
+func hasJoinEvidence(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if obj, ok := pass.Info.Uses[id]; ok {
+					if _, isB := obj.(*types.Builtin); isB {
+						found = true
+					}
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done", "Signal", "Broadcast":
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj, ok := pass.Info.Uses[n]; ok && obj != nil && obj.Type() != nil {
+				if obj.Type().String() == "context.Context" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body lets iteration order
+// escape: appending to a slice that is never sorted afterwards, calling
+// functions (which may emit events or feed scheduling decisions), or
+// returning early. Go randomizes map-iteration order per run, so any of
+// these leaks host nondeterminism into event order or report output.
+// Order-independent bodies — counting into another map, commutative
+// accumulation (sum += v, n++), delete — are allowed, as is the
+// collect-keys-then-sort idiom (append inside the loop, sort.X/slices.X
+// on the same slice later in the function). Suppress deliberate
+// unordered iteration with //procctl:allow-maporder <reason>.
+var MapOrder = &Analyzer{
+	Name:   "maporder",
+	Pragma: "maporder",
+	Doc: "flag map-range loops whose body appends to an unsorted slice, calls functions, or returns " +
+		"early, in simulation and report packages; commutative bodies and append-then-sort are allowed",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !pass.IsOrdered {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapType(pass, rng.X) {
+					return true
+				}
+				checkMapRange(pass, fd, rng)
+				return true
+			})
+		}
+	}
+}
+
+func isMapType(pass *Pass, x ast.Expr) bool {
+	t := pass.Info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange scans one map-range body for order-dependent effects.
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rng && isMapType(pass, n.X) {
+				return false // nested map range is checked on its own
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fn, rng, n)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: receive order depends on map order")
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				pass.Reportf(n.Pos(), "value return inside map iteration: the result depends on which key is visited first")
+			}
+		case *ast.CallExpr:
+			if name, effectful := effectfulCall(pass, n); effectful {
+				pass.Reportf(n.Pos(), "call to %s inside map iteration: side effects occur in nondeterministic key order (sort the keys first)", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign handles assignment statements in a map-range body:
+// appends must be sorted later; += on non-commutative types (strings,
+// slices) is order-dependent.
+func checkMapRangeAssign(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if t := pass.Info.TypeOf(as.Lhs[0]); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				pass.Reportf(as.Pos(), "string concatenation inside map iteration: the result depends on key order")
+			}
+		}
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call, "append") || i >= len(as.Lhs) {
+			continue
+		}
+		target := types.ExprString(as.Lhs[i])
+		if !sortedAfter(pass, fn, rng, target) {
+			pass.Reportf(as.Pos(), "append to %s inside map iteration without sorting afterwards: element order is nondeterministic", target)
+		}
+	}
+}
+
+// effectfulCall reports whether a call inside a map range can carry the
+// iteration order outward. Pure builtins, conversions, and append
+// (handled separately, with the sort check) do not count.
+func effectfulCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return "", false // type conversion
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj, ok := pass.Info.Uses[id]; ok {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "len", "cap", "append", "delete", "min", "max", "make", "new", "copy":
+					return "", false
+				}
+				return id.Name, true // panic, print, clear, ...
+			}
+		}
+		return id.Name, true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel), true
+	}
+	return types.ExprString(call.Fun), true
+}
+
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj, ok := pass.Info.Uses[id]
+	if !ok {
+		return false
+	}
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// sortedAfter reports whether, later in fn than the range loop, target
+// is passed to a sort.* or slices.* call — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg := pass.pkgNameOf(id)
+		if pkg == nil || (pkg.Path() != "sort" && pkg.Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

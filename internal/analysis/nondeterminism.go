@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// forbiddenTimeFuncs are the time-package functions whose results depend
+// on the wall clock or host scheduler. Pure declarations (time.Duration,
+// time.Second) remain legal: only behaviour is banned, not types.
+var forbiddenTimeFuncs = []string{
+	"Now", "Sleep", "After", "Tick", "NewTicker", "NewTimer", "AfterFunc", "Since", "Until",
+}
+
+// forbiddenImports taint a simulation package wholesale: math/rand keeps
+// process-global state (and rand/v2 seeds from the OS), so any use
+// breaks the identical-seed ⇒ identical-schedule contract that
+// internal/sim.RNG exists to uphold.
+var forbiddenImports = []string{"math/rand", "math/rand/v2"}
+
+// Nondeterminism forbids wall-clock time, math/rand, and goroutine
+// spawns in the simulation packages (SimPackages). The simulation is a
+// single-goroutine discrete-event system: every stochastic choice must
+// come from the engine-owned sim.RNG, every instant from sim.Time, and
+// all apparent concurrency from engine events — otherwise identical
+// seeds stop producing identical schedules and the paper's figures are
+// no longer reproducible. Suppress deliberate exceptions (e.g. the
+// kernel's coroutine goroutines, which run in strict alternation with
+// the engine) with //procctl:allow-nondeterminism <reason>.
+var Nondeterminism = &Analyzer{
+	Name:   "nondeterminism",
+	Pragma: "nondeterminism",
+	Doc: "forbid time.Now/time.Sleep, math/rand, and goroutine spawns in simulation packages; " +
+		"exempt: cmd/* (wall-clock progress output only, e.g. cmd/procctl-sim's elapsed banners), " +
+		"internal/runtime/* (real concurrency by design, guarded by lockdiscipline/ctxleak/-race), " +
+		"internal/trace (post-hoc analysis)",
+	Run: runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) {
+	if !pass.IsSim {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, bad := range forbiddenImports {
+				if path == bad {
+					pass.Reportf(imp.Pos(), "import of %s in simulation package: draw from the engine's sim.RNG instead", path)
+				}
+			}
+		}
+		// Selectors that are the function position of a call are reported
+		// at the call; any remaining forbidden selector is a value use
+		// (e.g. clock := time.Now), reported at the selector.
+		callFuns := make(map[ast.Expr]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				callFuns[call.Fun] = true
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawn in simulation package: host scheduling order is nondeterministic; use engine events, or annotate a coroutine that runs in strict alternation with the engine")
+			case *ast.SelectorExpr:
+				id, ok := n.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkg := pass.pkgNameOf(id)
+				if pkg == nil || pkg.Path() != "time" {
+					return true
+				}
+				for _, bad := range forbiddenTimeFuncs {
+					if n.Sel.Name == bad {
+						what := "referencing"
+						if callFuns[ast.Expr(n)] {
+							what = "calling"
+						}
+						pass.Reportf(n.Pos(), "%s time.%s in simulation package: use virtual time (sim.Time / engine scheduling) instead of the wall clock", what, bad)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+// Package bad spawns an unjoinable goroutine.
+package bad
+
+var sink int
+
+func Leak() {
+	go func() { // want "no visible completion signal"
+		for i := 0; i < 1000; i++ {
+			sink += i
+		}
+	}()
+}

@@ -1,0 +1,43 @@
+// Package good spawns goroutines with visible joins: WaitGroup,
+// channel, context, and the named-function form (whose callee owns its
+// own join discipline).
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+func WithWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func WithChannel() chan int {
+	out := make(chan int)
+	go func() {
+		out <- 42
+		close(out)
+	}()
+	return out
+}
+
+func WithContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func run() {}
+
+// Named spawns a named function, which is out of scope for the
+// literal-only heuristic.
+func Named() {
+	go run()
+}

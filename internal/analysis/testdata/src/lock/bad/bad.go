@@ -1,0 +1,28 @@
+// Package bad accesses mutex-guarded fields without the lock.
+package bad
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+	hi int
+}
+
+// Add establishes n and hi as guarded: they are written under mu.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	c.n += d
+	if c.n > c.hi {
+		c.hi = c.n
+	}
+	c.mu.Unlock()
+}
+
+func (c *Counter) Peek() int {
+	return c.n // want "read Counter.n without holding Counter.mu"
+}
+
+func (c *Counter) Reset() {
+	c.n = 0 // want "write to Counter.n without holding Counter.mu"
+}

@@ -1,0 +1,33 @@
+// Package bad leaks map-iteration order four different ways.
+package bad
+
+import "fmt"
+
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want "append to ks inside map iteration"
+	}
+	return ks
+}
+
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "call to fmt.Printf inside map iteration"
+	}
+}
+
+func Concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string concatenation inside map iteration"
+	}
+	return s
+}
+
+func First(m map[int]string) string {
+	for _, v := range m {
+		return v // want "value return inside map iteration"
+	}
+	return ""
+}

@@ -1,0 +1,52 @@
+// Package good iterates maps only in order-independent ways.
+package good
+
+import "sort"
+
+// SortedKeys is the canonical collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Sum is commutative accumulation.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes into another map: order-independent.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Prune deletes during iteration, which Go permits and order cannot
+// affect.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Names demonstrates the justified escape hatch.
+func Names(byName map[string]bool) []string {
+	var out []string
+	for name := range byName {
+		//procctl:allow-maporder fixture demonstrates the escape hatch; caller sorts
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Package bad exercises every nondeterminism trigger. It is loaded by
+// the tests under a synthetic internal/sim import path, so the
+// determinism contract applies.
+package bad
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func Clock() int64 {
+	t := time.Now()              // want "calling time.Now"
+	time.Sleep(time.Millisecond) // want "calling time.Sleep"
+	f := time.Now                // want "referencing time.Now"
+	_ = f
+	return t.UnixNano() + int64(rand.Intn(10))
+}
+
+func Spawn() {
+	done := make(chan struct{})
+	go func() { // want "goroutine spawn"
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,29 @@
+// Package good stays within the determinism contract: durations as
+// data, an owned RNG, and a pragma-justified coroutine.
+package good
+
+import "time"
+
+// Durations are data, not behaviour: referencing time types is legal.
+const tick = 10 * time.Millisecond
+
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return r.state
+}
+
+func Jitter(r *rng, n uint64) time.Duration {
+	return time.Duration(r.next()%n) * tick
+}
+
+func SpawnCoroutine(run func()) chan struct{} {
+	done := make(chan struct{})
+	//procctl:allow-nondeterminism fixture coroutine runs in strict alternation with the caller
+	go func() {
+		run()
+		close(done)
+	}()
+	return done
+}

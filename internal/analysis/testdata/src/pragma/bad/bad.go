@@ -1,0 +1,21 @@
+// Package bad carries a pragma with no justification, which is itself
+// a finding: the escape hatch requires a reason.
+package bad
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *Box) Set(v int) {
+	b.mu.Lock()
+	b.v = v
+	b.mu.Unlock()
+}
+
+func (b *Box) Get() int {
+	//procctl:allow-unlocked
+	return b.v
+}

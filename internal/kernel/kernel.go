@@ -139,6 +139,7 @@ func (k *Kernel) Spawn(name string, app AppID, workingSet int64, body func(*Env)
 	k.byID[p.id] = p
 	k.nlive++
 	k.wg.Add(1)
+	//procctl:allow-nondeterminism coroutine: procMain runs in strict alternation with the engine via req/grant rendezvous, never concurrently
 	go k.procMain(p)
 	k.setState(p, Runnable)
 	k.pol.Enqueue(p)

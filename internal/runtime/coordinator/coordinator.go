@@ -167,7 +167,7 @@ func (c *Coordinator) Targets() map[string]int {
 func (c *Coordinator) allocateLocked() []int {
 	demands := make([]core.Demand, len(c.members))
 	for i, m := range c.members {
-		demands[i] = c.demandOf(m)
+		demands[i] = c.demandOfLocked(m)
 	}
 	return core.Allocate(core.Available(c.capacity, c.external), demands)
 }
@@ -198,8 +198,9 @@ func (c *Coordinator) SetLoadAware(on bool) {
 	c.mu.Unlock()
 }
 
-// demandOf computes a member's Demand under the current mode.
-func (c *Coordinator) demandOf(m Member) core.Demand {
+// demandOfLocked computes a member's Demand under the current mode.
+// Callers hold c.mu.
+func (c *Coordinator) demandOfLocked(m Member) core.Demand {
 	d := core.Demand{Max: m.Workers(), Weight: c.weights[m.Name()]}
 	if !c.loadAware {
 		return d
