@@ -13,8 +13,12 @@ vet:
 
 # Repo-specific analyzers: determinism, map order, lock discipline,
 # goroutine joins. Exit 1 on findings — see README.md / DESIGN.md.
+# The metrics package is listed again explicitly: it is in the
+# analyzers' simulation scope (snapshots must be deterministic), and a
+# scope regression that silently dropped it from ./... must still fail.
 procctl-vet:
 	$(GO) run ./cmd/procctl-vet ./...
+	$(GO) run ./cmd/procctl-vet ./internal/metrics/...
 
 test:
 	$(GO) test ./...

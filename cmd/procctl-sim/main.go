@@ -5,7 +5,7 @@
 //
 //	procctl-sim [flags] [experiment ...]
 //
-// Experiments: fig1 fig3 fig4 fig5 policies poll cache quantum unctl decentral latency gantt run export all
+// Experiments: fig1 fig3 fig4 fig5 policies poll cache quantum unctl decentral latency gantt metrics run export all
 // (default: fig1 fig3 fig4 fig5).
 package main
 
@@ -34,6 +34,7 @@ func main() {
 		control  = flag.Bool("control", false, "enable process control in the gantt experiment")
 		workload = flag.String("workload", "", "JSON workload spec for the run experiment")
 		app      = flag.String("app", "fft", "built-in workload for the export experiment")
+		asJSON   = flag.Bool("json", false, "print the metrics experiment as JSON instead of a table")
 	)
 	flag.Parse()
 
@@ -92,6 +93,13 @@ func main() {
 			out = experiments.Decentral(o, nil).Render()
 		case "gantt":
 			out = experiments.GanttDemo(o, *policy, *control, 3*sim.Second)
+		case "metrics":
+			r := experiments.MetricsDemo(o)
+			if *asJSON {
+				out = r.JSON()
+			} else {
+				out = r.Render()
+			}
 		case "run":
 			if *workload == "" {
 				fmt.Fprintln(os.Stderr, "procctl-sim: run needs -workload spec.json")

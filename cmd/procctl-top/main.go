@@ -1,10 +1,11 @@
 // Command procctl-top inspects a running procctld daemon: capacity,
 // external load, and each registered application's process count and
-// current target — a tiny "top" for the paper's central server.
+// current target — a tiny "top" for the paper's central server. With
+// -metrics it prints the daemon's full metrics snapshot instead.
 //
 // Usage:
 //
-//	procctl-top [-connect unix:/tmp/procctld.sock] [-watch 2s] [-setload N]
+//	procctl-top [-connect unix:/tmp/procctld.sock] [-watch 2s] [-metrics] [-setload N]
 package main
 
 import (
@@ -18,10 +19,16 @@ import (
 	"procctl/internal/runtime/coordinator"
 )
 
+// maxConsecutiveFailures is how many back-to-back failed refreshes
+// -watch tolerates (the daemon restarting, a dropped socket) before
+// giving up. Each failure re-dials with linear backoff.
+const maxConsecutiveFailures = 5
+
 func main() {
 	var (
 		connect = flag.String("connect", "unix:/tmp/procctld.sock", "daemon address (unix:PATH or tcp:HOST:PORT)")
 		watch   = flag.Duration("watch", 0, "refresh continuously at this interval")
+		metrics = flag.Bool("metrics", false, "show the daemon's metrics snapshot instead of the status table")
 		setload = flag.Int("setload", -1, "report this uncontrollable load to the daemon and exit")
 	)
 	flag.Parse()
@@ -30,11 +37,12 @@ func main() {
 	if i < 0 {
 		log.Fatalf("procctl-top: address %q needs a network prefix (unix: or tcp:)", *connect)
 	}
-	client, err := coordinator.Dial((*connect)[:i], (*connect)[i+1:])
+	network, addr := (*connect)[:i], (*connect)[i+1:]
+	client, err := coordinator.Dial(network, addr)
 	if err != nil {
 		log.Fatalf("procctl-top: %v", err)
 	}
-	defer client.Close()
+	defer func() { client.Close() }()
 
 	if *setload >= 0 {
 		if err := client.SetExternalLoad(*setload); err != nil {
@@ -44,17 +52,52 @@ func main() {
 		return
 	}
 
-	for {
+	refresh := func() error {
+		if *metrics {
+			snap, err := client.Metrics()
+			if err != nil {
+				return err
+			}
+			snap.WriteText(os.Stdout)
+			return nil
+		}
 		st, err := client.Status()
 		if err != nil {
-			log.Fatalf("procctl-top: %v", err)
+			return err
 		}
 		print(st)
-		if *watch <= 0 {
-			return
+		return nil
+	}
+
+	failures := 0
+	for {
+		err := refresh()
+		if err == nil {
+			failures = 0
+			if *watch <= 0 {
+				return
+			}
+			time.Sleep(*watch)
+			fmt.Println()
+			continue
 		}
-		time.Sleep(*watch)
-		fmt.Println()
+		// One-shot mode keeps the old behaviour: report and exit.
+		if *watch <= 0 {
+			log.Fatalf("procctl-top: %v", err)
+		}
+		// In watch mode a refresh can fail transiently (daemon
+		// restarting, socket briefly gone): re-dial with backoff and
+		// only give up after several consecutive failures.
+		failures++
+		if failures >= maxConsecutiveFailures {
+			log.Fatalf("procctl-top: %v (%d consecutive failures)", err, failures)
+		}
+		log.Printf("procctl-top: %v (retry %d/%d)", err, failures, maxConsecutiveFailures-1)
+		time.Sleep(time.Duration(failures) * time.Second)
+		if c, derr := coordinator.Dial(network, addr); derr == nil {
+			client.Close()
+			client = c
+		}
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	procctld [-listen unix:/tmp/procctld.sock] [-capacity N] [-v]
+//	procctld [-listen unix:/tmp/procctld.sock] [-capacity N] [-metrics HOST:PORT] [-v]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -28,6 +29,7 @@ func main() {
 	var (
 		listen   = flag.String("listen", "unix:/tmp/procctld.sock", "listen address (unix:PATH or tcp:HOST:PORT)")
 		capacity = flag.Int("capacity", runtime.NumCPU(), "processors to divide among applications")
+		metrics  = flag.String("metrics", "", "serve Prometheus-style metrics over HTTP at this address (e.g. 127.0.0.1:9717)")
 		verbose  = flag.Bool("v", false, "log registrations and rebalances")
 	)
 	flag.Parse()
@@ -49,6 +51,21 @@ func main() {
 	srv := coordinator.NewServer(coord, ln)
 	log.Printf("procctld: managing %d processors on %s", *capacity, ln.Addr())
 
+	var metricsSrv *http.Server
+	if *metrics != "" {
+		mln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("procctld: metrics listen: %v", err)
+		}
+		metricsSrv = &http.Server{Handler: metricsHandler(coord)}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("procctld: metrics serve: %v", err)
+			}
+		}()
+		log.Printf("procctld: metrics on http://%s/metrics", mln.Addr())
+	}
+
 	if *verbose {
 		go logChanges(coord)
 	}
@@ -58,6 +75,9 @@ func main() {
 	go func() {
 		<-sig
 		log.Printf("procctld: shutting down")
+		if metricsSrv != nil {
+			metricsSrv.Close()
+		}
 		srv.Close()
 		if network == "unix" {
 			os.Remove(addr)
@@ -86,6 +106,25 @@ func splitListen(s string) (network, addr string, err error) {
 
 func isClosed(err error) bool {
 	return strings.Contains(err.Error(), "use of closed network connection")
+}
+
+// metricsHandler serves the coordinator's registry in the Prometheus
+// text exposition format at /metrics (and answers a plain GET / with a
+// pointer there).
+func metricsHandler(coord *coordinator.Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		coord.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "procctld metrics: see /metrics")
+	})
+	return mux
 }
 
 // logChanges prints the target table whenever the membership changes,

@@ -87,6 +87,7 @@ var SimPackages = []string{
 	"internal/apps",
 	"internal/core",
 	"internal/ctrl",
+	"internal/metrics",
 }
 
 // OrderedPackages lists additional package prefixes where map-iteration

@@ -161,6 +161,7 @@ func TestScopePredicates(t *testing.T) {
 		{"procctl/internal/sim", true, true},
 		{"procctl/internal/kernel", true, true},
 		{"procctl/internal/experiments", true, true},
+		{"procctl/internal/metrics", true, true},
 		{"procctl/internal/trace", false, true},
 		{"procctl/internal/runtime/coordinator", false, false},
 		{"procctl/internal/runtime/pool", false, false},

@@ -12,6 +12,7 @@ package ctrl
 import (
 	"procctl/internal/core"
 	"procctl/internal/kernel"
+	"procctl/internal/metrics"
 	"procctl/internal/sim"
 )
 
@@ -42,6 +43,9 @@ type Server struct {
 	// Stats.
 	Scans       int64
 	PollsServed int64
+
+	scans *metrics.Counter
+	polls *metrics.Counter
 }
 
 // NewServer creates the server and installs its periodic scan on the
@@ -55,6 +59,8 @@ func NewServer(k *kernel.Kernel, interval sim.Duration) *Server {
 		interval:   interval,
 		registered: make(map[kernel.AppID]int),
 		targets:    make(map[kernel.AppID]int),
+		scans:      k.Metrics().Counter("sim_ctrl_scans_total", "central-server target recomputations"),
+		polls:      k.Metrics().Counter("sim_ctrl_polls_total", "application polls served"),
 	}
 	k.Engine().Every(interval, func() bool {
 		s.Scan()
@@ -92,6 +98,7 @@ func (s *Server) Unregister(id kernel.AppID) {
 // (equivalent to no control).
 func (s *Server) Poll(id kernel.AppID) int {
 	s.PollsServed++
+	s.polls.Inc()
 	if t, ok := s.targets[id]; ok {
 		return t
 	}
@@ -108,6 +115,7 @@ func (s *Server) Registered() int { return len(s.order) }
 // It runs periodically but is exported so tests can force a recompute.
 func (s *Server) Scan() {
 	s.Scans++
+	s.scans.Inc()
 
 	if sizer, ok := s.k.Policy().(PartitionSizer); ok {
 		for _, app := range s.order {

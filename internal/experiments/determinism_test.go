@@ -30,10 +30,10 @@ func runTraced(t *testing.T, seed uint64) []byte {
 		// tasks run 40/45 ms of continuous compute, past the 30 ms
 		// quantum, for the same reason.
 		Machine: machine.Config{NumCPU: 2},
-		// Jitter must be requested explicitly: kernel.New defaults only
-		// Quantum, so a zero Config runs jitter-free (which would make
-		// seeds invisible to the schedule here).
-		Kernel: kernel.Config{Quantum: 30 * sim.Millisecond, QuantumJitter: 10 * sim.Millisecond},
+		// kernel.New fills in the default 10 ms jitter for a zero
+		// QuantumJitter (kernel.NoJitter would turn it off), so seeds
+		// reach the schedule without explicit configuration here.
+		Kernel: kernel.Config{Quantum: 30 * sim.Millisecond},
 	}
 	s := NewSim(o, true)
 	rec := trace.NewRecorder(s.K, &buf)

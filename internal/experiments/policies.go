@@ -97,15 +97,13 @@ func runPolicyMix(o Options, mix []Fig4Arrival, name string, control bool) Polic
 				last = f
 			}
 		}
-		var spin, cpu sim.Duration
-		for _, p := range s.K.Processes() {
-			spin += p.Stats.SpinTime
-			cpu += p.Stats.CPUTime
-		}
-		var switches int64
-		for _, c := range s.Mac.CPUs() {
-			switches += c.Switches
-		}
+		// The metrics registry replaced the hand-rolled tallies that used
+		// to walk Processes() and CPUs() here; the counters are maintained
+		// next to the same ProcStats/machine accounting (cross-checked by
+		// TestMetricsAgreeWithProcStats).
+		spin, _ := s.K.Metrics().Value(kernel.MetricSpinMicros)
+		cpu, _ := s.K.Metrics().Value(kernel.MetricCPUMicros)
+		switches, _ := s.K.Metrics().Value(kernel.MetricCtxSwitches)
 		frac := 0.0
 		if cpu > 0 {
 			frac = float64(spin) / float64(cpu)

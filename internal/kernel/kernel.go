@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"procctl/internal/machine"
+	"procctl/internal/metrics"
 	"procctl/internal/sim"
 )
 
@@ -19,9 +20,15 @@ type Config struct {
 	// is extended by a uniform random amount in [0, QuantumJitter). A
 	// real kernel's quantum ends at a clock tick, not an exact offset
 	// from dispatch, so slices are never perfectly synchronized across
-	// processors. Default 10 ms (one 100 Hz tick).
+	// processors. New defaults the zero value to 10 ms (one 100 Hz
+	// tick); pass NoJitter for exact, deterministic quanta.
 	QuantumJitter sim.Duration
 }
+
+// NoJitter disables quantum jitter: every slice ends exactly Quantum
+// after dispatch. Tests that assert precise preemption instants use it;
+// a zero QuantumJitter means "default", not "off".
+const NoJitter sim.Duration = -1
 
 // DefaultConfig returns the UMAX-like configuration used throughout the
 // paper reproduction.
@@ -59,6 +66,7 @@ type Kernel struct {
 
 	rng *sim.RNG
 	wg  sync.WaitGroup
+	met *kernelMetrics
 
 	// Optional hooks for tracing. Invoked synchronously.
 	OnSpawn       func(*Process)
@@ -71,6 +79,12 @@ func New(eng *sim.Engine, mac *machine.Machine, pol Policy, cfg Config) *Kernel 
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = DefaultConfig().Quantum
 	}
+	switch {
+	case cfg.QuantumJitter == 0:
+		cfg.QuantumJitter = DefaultConfig().QuantumJitter
+	case cfg.QuantumJitter < 0:
+		cfg.QuantumJitter = 0 // NoJitter: exact quanta
+	}
 	k := &Kernel{
 		eng:  eng,
 		mac:  mac,
@@ -78,10 +92,12 @@ func New(eng *sim.Engine, mac *machine.Machine, pol Policy, cfg Config) *Kernel 
 		cfg:  cfg,
 		byID: make(map[PID]*Process),
 		rng:  eng.RNG().Split(),
+		met:  newKernelMetrics(metrics.NewRegistry()),
 	}
 	for _, c := range mac.CPUs() {
 		k.cpus = append(k.cpus, &cpuState{hw: c, idle: true})
 	}
+	k.met.reg.OnCollect(k.collect)
 	pol.Attach(k)
 	return k
 }
@@ -243,6 +259,14 @@ func (k *Kernel) dispatch(cpu *cpuState) {
 		cpu.idleTime += now.Sub(cpu.idleSince)
 		cpu.idle = false
 	}
+	k.met.dispatches.Inc()
+	k.met.runqWait.Observe(int64(now.Sub(p.readySince)))
+	if p.lastCPU >= 0 && p.lastCPU != cpu.hw.ID() {
+		k.met.migrations.Inc()
+	}
+	if cpu.hw.LastFootprint() != p.footprint() {
+		k.met.ctxSwitches.Inc()
+	}
 	cpu.running = p
 	p.cpu = cpu
 	p.lastCPU = cpu.hw.ID()
@@ -253,6 +277,8 @@ func (k *Kernel) dispatch(cpu *cpuState) {
 	sw, rl := cpu.hw.Dispatch(p.footprint(), p.workingSet)
 	p.Stats.SwitchTime += sw
 	p.Stats.ReloadTime += rl
+	k.met.switchMicros.Add(int64(sw))
+	k.met.reloadMicros.Add(int64(rl))
 	overhead := sw + rl
 
 	q := k.pol.QuantumFor(p)
@@ -415,6 +441,7 @@ func (k *Kernel) grantLock(l *SpinLock, w *Process) {
 	w.lockDepth++
 	w.Stats.LockAcquires++
 	w.Stats.SpinTime += now.Sub(w.spinStart)
+	k.met.spinMicros.Add(int64(now.Sub(w.spinStart)))
 	w.waitingLock = nil
 	epoch := w.epoch
 	k.eng.Schedule(now, func() {
@@ -491,8 +518,13 @@ func (k *Kernel) Preempt(p *Process) {
 	}
 	if p.waitingLock != nil && p.active {
 		p.Stats.SpinTime += now.Sub(p.spinStart)
+		k.met.spinMicros.Add(int64(now.Sub(p.spinStart)))
 	}
 	p.Stats.Preemptions++
+	k.met.preemptions.Inc()
+	if p.lockDepth > 0 {
+		k.met.preemptCrit.Inc()
+	}
 	k.unrun(p, Runnable)
 }
 
@@ -503,6 +535,7 @@ func (k *Kernel) unrun(p *Process, next ProcState) {
 	cpu := p.cpu
 	ran := now.Sub(p.runStart)
 	p.Stats.CPUTime += ran
+	k.met.cpuMicros.Add(int64(ran))
 	p.usage += float64(ran)
 	cpu.hw.BusyTime += ran
 	p.epoch++
@@ -524,6 +557,7 @@ func (k *Kernel) exit(p *Process) {
 	}
 	if p.waitingLock != nil {
 		p.Stats.SpinTime += k.eng.Now().Sub(p.spinStart)
+		k.met.spinMicros.Add(int64(k.eng.Now().Sub(p.spinStart)))
 		p.waitingLock.removeWaiter(p)
 		p.waitingLock = nil
 	}
@@ -548,6 +582,7 @@ func (k *Kernel) Finalize() {
 			p := c.running
 			ran := now.Sub(p.runStart)
 			p.Stats.CPUTime += ran
+			k.met.cpuMicros.Add(int64(ran))
 			c.hw.BusyTime += ran
 			p.runStart = now
 		} else if c.idle {

@@ -1,0 +1,117 @@
+package kernel
+
+import (
+	"strconv"
+
+	"procctl/internal/metrics"
+)
+
+// kernelMetrics holds the kernel's handles into the simulation's
+// metrics registry. Event counters are incremented inline on the
+// dispatch path, always in virtual time, next to the matching
+// ProcStats/CPU accounting so the two can be cross-checked; state
+// gauges (per-CPU busy/idle, runnable counts) are refreshed lazily by a
+// snapshot collector.
+type kernelMetrics struct {
+	reg *metrics.Registry
+
+	dispatches   *metrics.Counter
+	preemptions  *metrics.Counter
+	preemptCrit  *metrics.Counter
+	migrations   *metrics.Counter
+	ctxSwitches  *metrics.Counter
+	switchMicros *metrics.Counter
+	reloadMicros *metrics.Counter
+	spinMicros   *metrics.Counter
+	cpuMicros    *metrics.Counter
+	runqWait     *metrics.Histogram
+}
+
+// Metric names exported by the kernel layer; see DESIGN.md for the
+// figure-to-counter mapping.
+const (
+	MetricDispatches   = "sim_kernel_dispatches_total"
+	MetricPreemptions  = "sim_kernel_preemptions_total"
+	MetricPreemptCrit  = "sim_kernel_preemptions_in_crit_total"
+	MetricMigrations   = "sim_kernel_migrations_total"
+	MetricCtxSwitches  = "sim_kernel_context_switches_total"
+	MetricSwitchMicros = "sim_kernel_switch_micros_total"
+	MetricReloadMicros = "sim_kernel_reload_micros_total"
+	MetricSpinMicros   = "sim_kernel_spin_micros_total"
+	MetricCPUMicros    = "sim_kernel_cpu_micros_total"
+	MetricRunqWait     = "sim_kernel_runqueue_wait_micros"
+	MetricRunnable     = "sim_kernel_runnable_procs"
+	MetricLive         = "sim_kernel_live_procs"
+)
+
+func newKernelMetrics(reg *metrics.Registry) *kernelMetrics {
+	return &kernelMetrics{
+		reg:          reg,
+		dispatches:   reg.Counter(MetricDispatches, "processes placed on a CPU"),
+		preemptions:  reg.Counter(MetricPreemptions, "involuntary deschedules (quantum expiry or forced)"),
+		preemptCrit:  reg.Counter(MetricPreemptCrit, "preemptions of a process holding a spinlock (the paper's Section 2 hazard)"),
+		migrations:   reg.Counter(MetricMigrations, "dispatches onto a different CPU than the process last ran on"),
+		ctxSwitches:  reg.Counter(MetricCtxSwitches, "dispatches of a different process than the CPU ran last"),
+		switchMicros: reg.Counter(MetricSwitchMicros, "virtual time charged to context-switch overhead"),
+		reloadMicros: reg.Counter(MetricReloadMicros, "virtual time charged to cache reloads after corruption"),
+		spinMicros:   reg.Counter(MetricSpinMicros, "virtual CPU time burned spin-waiting on held locks"),
+		cpuMicros:    reg.Counter(MetricCPUMicros, "virtual CPU time consumed by processes (incl. spin and reload)"),
+		runqWait:     reg.Histogram(MetricRunqWait, "runnable-to-dispatched wait per dispatch", nil),
+	}
+}
+
+// collect refreshes the state gauges. Installed as a registry collector
+// by New, so it runs (deterministically, on the simulation goroutine)
+// at every snapshot.
+func (k *Kernel) collect() {
+	now := k.eng.Now()
+	var hits, misses int64
+	for i, c := range k.cpus {
+		cpu := strconv.Itoa(i)
+		busy := c.hw.BusyTime
+		if c.running != nil {
+			busy += now.Sub(c.running.runStart) // credit the leg in progress
+		}
+		idle := c.idleTime
+		if c.idle {
+			idle += now.Sub(c.idleSince)
+		}
+		k.met.reg.Gauge(metrics.Name("sim_cpu_busy_micros", "cpu", cpu), "virtual time executing processes").Set(int64(busy))
+		k.met.reg.Gauge(metrics.Name("sim_cpu_idle_micros", "cpu", cpu), "virtual time with no process to run").Set(int64(idle))
+		k.met.reg.Gauge(metrics.Name("sim_cpu_switch_micros", "cpu", cpu), "context-switch overhead paid on this CPU").Set(int64(c.hw.SwitchTime))
+		k.met.reg.Gauge(metrics.Name("sim_cpu_reload_micros", "cpu", cpu), "cache-reload penalty paid on this CPU").Set(int64(c.hw.ReloadTime))
+		k.met.reg.Gauge(metrics.Name("sim_cpu_switches", "cpu", cpu), "dispatches of a different process than last time").Set(c.hw.Switches)
+		k.met.reg.Gauge(metrics.Name("sim_cpu_cache_hits", "cpu", cpu), "dispatches with the working set fully resident").Set(c.hw.CacheHits)
+		k.met.reg.Gauge(metrics.Name("sim_cpu_cache_misses", "cpu", cpu), "dispatches that paid a reload penalty").Set(c.hw.CacheMisses)
+		hits += c.hw.CacheHits
+		misses += c.hw.CacheMisses
+	}
+	k.met.reg.Gauge("sim_cache_hits", "cache-resident dispatches across all CPUs").Set(hits)
+	k.met.reg.Gauge("sim_cache_misses", "reload-paying dispatches across all CPUs").Set(misses)
+
+	runnable, live := 0, 0
+	for _, p := range k.procs {
+		switch p.state {
+		case Runnable, Running:
+			runnable++
+			live++
+		case Blocked:
+			live++
+		}
+	}
+	k.met.reg.Gauge(MetricRunnable, "processes runnable or running (the paper's load measure)").Set(int64(runnable))
+	k.met.reg.Gauge(MetricLive, "processes not yet exited").Set(int64(live))
+}
+
+// Metrics returns the simulation's metrics registry. The kernel, the
+// machine gauges, the threads runtime, and the simulated central server
+// all share it; snapshot it with MetricsSnapshot (or directly with a
+// sim.Time stamp) after — or during — a run.
+func (k *Kernel) Metrics() *metrics.Registry { return k.met.reg }
+
+// MetricsSnapshot captures every metric at the current virtual instant.
+// Same seed, same schedule, same snapshot — byte-identical across runs
+// (asserted by internal/experiments).
+func (k *Kernel) MetricsSnapshot() *metrics.Snapshot {
+	return k.met.reg.Snapshot(int64(k.eng.Now()))
+}

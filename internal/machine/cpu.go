@@ -27,6 +27,11 @@ type CPU struct {
 	SwitchTime sim.Duration // time charged to context switches
 	ReloadTime sim.Duration // time charged to cache reloads
 	Switches   int64        // dispatches of a different process than last time
+
+	// Cache-residency accounting (only kept when the cache is modeled,
+	// i.e. CacheSize > 0 and the working set is known).
+	CacheHits   int64 // dispatches that found the working set fully resident
+	CacheMisses int64 // dispatches that paid a reload for an evicted fraction
 }
 
 func newCPU(id int, cfg Config) *CPU {
@@ -86,6 +91,9 @@ func (c *CPU) Dispatch(f FootprintID, ws int64) (switchCost, reloadCost sim.Dura
 	missing := want - have
 	if missing > 0 {
 		reloadCost = sim.Duration(missing / c.cfg.ReloadRate)
+		c.CacheMisses++
+	} else {
+		c.CacheHits++
 	}
 
 	// Bring f fully resident, evicting other footprints proportionally

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"procctl/internal/metrics"
 )
 
 // DefaultPollInterval matches the paper's 6-second application poll.
@@ -103,6 +105,19 @@ func (c *Client) Status() (*Status, error) {
 		return nil, errors.New("coordinator: empty status")
 	}
 	return resp.Status, nil
+}
+
+// Metrics fetches the daemon's metrics snapshot (every registry series,
+// stamped with the daemon's wall clock in Unix microseconds).
+func (c *Client) Metrics() (*metrics.Snapshot, error) {
+	resp, err := c.roundTrip(&Request{Op: OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Metrics == nil {
+		return nil, errors.New("coordinator: empty metrics")
+	}
+	return resp.Metrics, nil
 }
 
 // Targeter accepts targets; *pool.Pool satisfies it.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"procctl/internal/core"
+	"procctl/internal/metrics"
 )
 
 // Member is a controllable application: anything that can accept a
@@ -37,6 +38,24 @@ type Coordinator struct {
 	loadAware bool
 
 	rebalances int64
+	met        coordMetrics
+}
+
+// coordMetrics is the coordinator's slice of a metrics registry. The
+// runtime layer runs on the wall clock; rebalanceMicros measures notify
+// latency — recompute plus pushing SetTarget to every member.
+type coordMetrics struct {
+	reg             *metrics.Registry
+	rebalanceCount  *metrics.Counter
+	rebalanceMicros *metrics.Histogram
+}
+
+func newCoordMetrics(reg *metrics.Registry) coordMetrics {
+	return coordMetrics{
+		reg:             reg,
+		rebalanceCount:  reg.Counter("coordinator_rebalances_total", "target recomputations"),
+		rebalanceMicros: reg.Histogram("coordinator_rebalance_micros", "wall-clock recompute-and-notify latency", nil),
+	}
 }
 
 // New creates a coordinator managing the given processor capacity. A
@@ -46,7 +65,28 @@ func New(capacity int) *Coordinator {
 	if capacity <= 0 {
 		capacity = runtime.GOMAXPROCS(0)
 	}
-	return &Coordinator{capacity: capacity, weights: make(map[string]int)}
+	c := &Coordinator{capacity: capacity, weights: make(map[string]int)}
+	c.met = newCoordMetrics(metrics.NewRegistry())
+	c.met.reg.OnCollect(func() {
+		c.mu.Lock()
+		members, capacity, external := len(c.members), c.capacity, c.external
+		c.mu.Unlock()
+		c.met.reg.Gauge("coordinator_members", "registered controllable applications").Set(int64(members))
+		c.met.reg.Gauge("coordinator_capacity", "processors under management").Set(int64(capacity))
+		c.met.reg.Gauge("coordinator_external_load", "processors consumed by uncontrollable work").Set(int64(external))
+	})
+	return c
+}
+
+// Metrics returns the coordinator's registry. Pools sharing it (via
+// pool.Config.Metrics) and the socket server's RPC counters land in the
+// same exportable snapshot.
+func (c *Coordinator) Metrics() *metrics.Registry { return c.met.reg }
+
+// Snapshot captures every metric stamped with the current wall-clock
+// instant (Unix microseconds) — the runtime side has no virtual clock.
+func (c *Coordinator) Snapshot() *metrics.Snapshot {
+	return c.met.reg.Snapshot(time.Now().UnixMicro())
 }
 
 // Capacity returns the managed processor count.
@@ -121,6 +161,7 @@ func (c *Coordinator) removeLocked(name string) {
 		if m.Name() == name {
 			c.members = append(c.members[:i], c.members[i+1:]...)
 			delete(c.weights, name)
+			c.met.reg.Remove(metrics.Name("coordinator_target", "app", name))
 			return
 		}
 	}
@@ -173,11 +214,15 @@ func (c *Coordinator) allocateLocked() []int {
 }
 
 func (c *Coordinator) rebalanceLocked() {
+	start := time.Now()
 	c.rebalances++
+	c.met.rebalanceCount.Inc()
 	alloc := c.allocateLocked()
 	for i, m := range c.members {
 		m.SetTarget(alloc[i])
+		c.met.reg.Gauge(metrics.Name("coordinator_target", "app", m.Name()), "processors allotted to this member").Set(int64(alloc[i]))
 	}
+	c.met.rebalanceMicros.Observe(time.Since(start).Microseconds())
 }
 
 // Loader is an optional Member extension: a member that can report how

@@ -1,5 +1,7 @@
 package coordinator
 
+import "procctl/internal/metrics"
+
 // The wire protocol is JSON objects, one per line, over any stream
 // connection (Unix socket by default, TCP if asked) — the modern
 // analogue of the paper's UMAX socket IPC between applications and the
@@ -15,6 +17,8 @@ package coordinator
 //	<- {"ok":true}
 //	-> {"op":"status"}
 //	<- {"ok":true,"status":{...}}
+//	-> {"op":"metrics"}
+//	<- {"ok":true,"metrics":{"at":...,"metrics":[...]}}
 //
 // Registrations are owned by their connection: when the connection
 // drops, its applications are unregistered and their processors are
@@ -31,10 +35,11 @@ type Request struct {
 
 // Response is one server reply.
 type Response struct {
-	OK     bool    `json:"ok"`
-	Error  string  `json:"error,omitempty"`
-	Target int     `json:"target,omitempty"`
-	Status *Status `json:"status,omitempty"`
+	OK      bool              `json:"ok"`
+	Error   string            `json:"error,omitempty"`
+	Target  int               `json:"target,omitempty"`
+	Status  *Status           `json:"status,omitempty"`
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // Status is the coordinator state snapshot served to inspectors.
@@ -59,4 +64,5 @@ const (
 	OpUnregister = "unregister"
 	OpSetLoad    = "setload"
 	OpStatus     = "status"
+	OpMetrics    = "metrics"
 )

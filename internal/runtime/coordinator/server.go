@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"procctl/internal/metrics"
 )
 
 // remoteMember represents an application registered over a socket. Its
@@ -111,6 +113,16 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req *Request, owned map[string]*remoteMember) Response {
+	reg := s.coord.Metrics()
+	reg.Counter(metrics.Name("coordinator_rpcs_total", "op", req.Op), "socket requests served").Inc()
+	resp := s.dispatchOp(req, owned)
+	if !resp.OK {
+		reg.Counter(metrics.Name("coordinator_rpc_errors_total", "op", req.Op), "socket requests rejected").Inc()
+	}
+	return resp
+}
+
+func (s *Server) dispatchOp(req *Request, owned map[string]*remoteMember) Response {
 	switch req.Op {
 	case OpRegister:
 		if req.App == "" || req.Procs < 1 {
@@ -144,6 +156,9 @@ func (s *Server) dispatch(req *Request, owned map[string]*remoteMember) Response
 
 	case OpStatus:
 		return Response{OK: true, Status: s.status()}
+
+	case OpMetrics:
+		return Response{OK: true, Metrics: s.coord.Snapshot()}
 
 	default:
 		return errResp(fmt.Errorf("unknown op %q", req.Op))

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"procctl/internal/metrics"
 )
 
 // Task is one unit of work (the paper's "task": a chunk of computation
@@ -29,6 +32,11 @@ type Config struct {
 	Workers int
 	// Target is the initial number of runnable workers; 0 means all.
 	Target int
+	// Metrics is the registry the pool instruments, labeled
+	// pool=<Name>; nil creates a private registry (read it with
+	// Metrics). Sharing one registry across pools and an in-process
+	// coordinator yields a single exportable snapshot.
+	Metrics *metrics.Registry
 }
 
 // Stats is a snapshot of pool accounting.
@@ -54,8 +62,36 @@ type Pool struct {
 	closed    bool
 	stats     Stats
 
-	wg sync.WaitGroup
+	wg  sync.WaitGroup
+	met poolMetrics
 }
+
+// poolMetrics is the pool's slice of a metrics registry, labeled by
+// pool name. The runtime layer runs on the wall clock (unlike the
+// simulator's counters, which are in virtual time).
+type poolMetrics struct {
+	reg       *metrics.Registry
+	submitted *metrics.Counter
+	completed *metrics.Counter
+	parks     *metrics.Counter
+	unparks   *metrics.Counter
+	service   *metrics.Histogram
+}
+
+func newPoolMetrics(reg *metrics.Registry, name string) poolMetrics {
+	return poolMetrics{
+		reg:       reg,
+		submitted: reg.Counter(metrics.Name("pool_tasks_submitted_total", "pool", name), "tasks queued"),
+		completed: reg.Counter(metrics.Name("pool_tasks_completed_total", "pool", name), "tasks finished"),
+		parks:     reg.Counter(metrics.Name("pool_parks_total", "pool", name), "workers parked by process control"),
+		unparks:   reg.Counter(metrics.Name("pool_unparks_total", "pool", name), "workers unparked by process control"),
+		service:   reg.Histogram(metrics.Name("pool_task_micros", "pool", name), "per-task wall-clock execution time", nil),
+	}
+}
+
+// Metrics returns the registry this pool instruments (the one from
+// Config.Metrics, or the private one created for it).
+func (p *Pool) Metrics() *metrics.Registry { return p.met.reg }
 
 // New creates and starts a pool.
 func New(cfg Config) *Pool {
@@ -68,13 +104,27 @@ func New(cfg Config) *Pool {
 	if cfg.Name == "" {
 		cfg.Name = "pool"
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	p := &Pool{
 		name:     cfg.Name,
 		workers:  cfg.Workers,
 		target:   cfg.Target,
 		runnable: cfg.Workers,
+		met:      newPoolMetrics(cfg.Metrics, cfg.Name),
 	}
 	p.cond = sync.NewCond(&p.mu)
+	cfg.Metrics.OnCollect(func() {
+		reg := p.met.reg
+		p.mu.Lock()
+		backlog, runnable, executing, target := len(p.queue), p.runnable, p.executing, p.target
+		p.mu.Unlock()
+		reg.Gauge(metrics.Name("pool_backlog", "pool", p.name), "queued tasks not yet started").Set(int64(backlog))
+		reg.Gauge(metrics.Name("pool_runnable", "pool", p.name), "workers not parked").Set(int64(runnable))
+		reg.Gauge(metrics.Name("pool_executing", "pool", p.name), "workers inside a task").Set(int64(executing))
+		reg.Gauge(metrics.Name("pool_target", "pool", p.name), "runnable-worker target").Set(int64(target))
+	})
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go p.worker()
@@ -101,6 +151,7 @@ func (p *Pool) Submit(t Task) error {
 	}
 	p.queue = append(p.queue, t)
 	p.stats.Submitted++
+	p.met.submitted.Inc()
 	p.cond.Broadcast()
 	return nil
 }
@@ -186,11 +237,13 @@ func (p *Pool) worker() {
 		if p.runnable > p.target && p.runnable > 1 {
 			p.runnable--
 			p.stats.Suspensions++
+			p.met.parks.Inc()
 			for p.runnable >= p.target && !(p.closed && len(p.queue) == 0) {
 				p.cond.Wait()
 			}
 			p.runnable++
 			p.stats.Resumes++
+			p.met.unparks.Inc()
 			continue
 		}
 		if len(p.queue) == 0 {
@@ -203,11 +256,14 @@ func (p *Pool) worker() {
 		p.executing++
 		p.mu.Unlock()
 
+		start := time.Now()
 		t()
+		p.met.service.Observe(time.Since(start).Microseconds())
 
 		p.mu.Lock()
 		p.executing--
 		p.stats.Completed++
+		p.met.completed.Inc()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"procctl/internal/kernel"
+	"procctl/internal/metrics"
 	"procctl/internal/sim"
 )
 
@@ -127,7 +128,35 @@ type App struct {
 	startAt []sim.Time
 	doneAt  []sim.Time
 
+	met appMetrics
+
 	Stats Stats
+}
+
+// appMetrics is the application's slice of the simulation's registry,
+// labeled app=<workload name>. Two launches of the same workload name
+// share series (registration is idempotent), which matches how the
+// figures aggregate repeated runs.
+type appMetrics struct {
+	tasks       *metrics.Counter
+	service     *metrics.Histogram
+	suspended   *metrics.Histogram
+	suspensions *metrics.Counter
+	resumes     *metrics.Counter
+	polls       *metrics.Counter
+	idleSpins   *metrics.Counter
+}
+
+func newAppMetrics(reg *metrics.Registry, app string) appMetrics {
+	return appMetrics{
+		tasks:       reg.Counter(metrics.Name("sim_app_tasks_total", "app", app), "tasks retired by the threads runtime"),
+		service:     reg.Histogram(metrics.Name("sim_app_task_service_micros", "app", app), "per-task execution time (compute + critical sections)", nil),
+		suspended:   reg.Histogram(metrics.Name("sim_app_suspended_micros", "app", app), "safe-point suspension latency: suspend to running again", nil),
+		suspensions: reg.Counter(metrics.Name("sim_app_suspensions_total", "app", app), "workers suspended by process control"),
+		resumes:     reg.Counter(metrics.Name("sim_app_resumes_total", "app", app), "workers resumed by process control"),
+		polls:       reg.Counter(metrics.Name("sim_app_polls_total", "app", app), "server polls issued"),
+		idleSpins:   reg.Counter(metrics.Name("sim_app_idle_spins_total", "app", app), "empty-queue busy-wait episodes"),
+	}
 }
 
 // Launch starts the workload on k as application id with cfg.Procs
@@ -164,6 +193,13 @@ func Launch(k *kernel.Kernel, id kernel.AppID, wl *Workload, cfg Config) *App {
 		a.startAt = make([]sim.Time, wl.Len())
 		a.doneAt = make([]sim.Time, wl.Len())
 	}
+	a.met = newAppMetrics(k.Metrics(), wl.Name)
+	k.Metrics().OnCollect(func() {
+		reg := k.Metrics()
+		reg.Gauge(metrics.Name("sim_app_queue_depth", "app", wl.Name), "ready tasks queued").Set(int64(len(a.ready)))
+		reg.Gauge(metrics.Name("sim_app_runnable", "app", wl.Name), "workers not suspended by process control").Set(int64(a.runnable))
+		reg.Gauge(metrics.Name("sim_app_target", "app", wl.Name), "most recently polled server target").Set(int64(a.target))
+	})
 	for i := 0; i < wl.Len(); i++ {
 		a.depsLeft[i] = wl.tasks[i].ndeps
 		if a.depsLeft[i] == 0 {
@@ -249,11 +285,14 @@ func (a *App) worker(env *kernel.Env) {
 			// little and recheck, burning CPU like the paper's idle
 			// busy-waiting workers.
 			a.Stats.IdleSpins++
+			a.met.idleSpins.Inc()
 			env.Compute(a.cfg.IdleSpin)
 			continue
 		}
 
+		serviceStart := env.Now()
 		a.execute(env, t)
+		a.met.service.Observe(int64(env.Now().Sub(serviceStart)))
 
 		env.Acquire(a.qlock)
 		env.Compute(a.cfg.CompleteCost)
@@ -266,6 +305,7 @@ func (a *App) worker(env *kernel.Env) {
 		}
 		env.Release(a.qlock)
 		a.Stats.TasksRun++
+		a.met.tasks.Inc()
 
 		if finished {
 			a.finish(env)
@@ -345,18 +385,25 @@ func (a *App) controlPoint(env *kernel.Env) {
 		a.lastPoll = now
 		a.target = a.cfg.Controller.Poll(a.id)
 		a.Stats.Polls++
+		a.met.polls.Inc()
 	}
 	if a.target < a.runnable && a.runnable > 1 {
 		a.runnable--
 		a.Stats.Suspensions++
+		a.met.suspensions.Inc()
+		suspendedAt := now
 		env.Sleep(a.suspendQ)
 		// Woken: either resumed by a peer (already counted in runnable
-		// by the waker) or the application finished.
+		// by the waker) or the application finished. The observed span
+		// runs to the redispatch instant, so it includes the requeue
+		// latency of the resume — the paper's suspend/resume cost.
+		a.met.suspended.Observe(int64(env.Now().Sub(suspendedAt)))
 		return
 	}
 	for a.target > a.runnable && a.suspendQ.Len() > 0 {
 		a.runnable++
 		a.Stats.Resumes++
+		a.met.resumes.Inc()
 		env.Wake(a.suspendQ, 1)
 	}
 }
