@@ -19,6 +19,7 @@ vet:
 procctl-vet:
 	$(GO) run ./cmd/procctl-vet ./...
 	$(GO) run ./cmd/procctl-vet ./internal/metrics/...
+	$(GO) run ./cmd/procctl-vet ./internal/faultinject/...
 
 test:
 	$(GO) test ./...

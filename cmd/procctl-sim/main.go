@@ -5,7 +5,7 @@
 //
 //	procctl-sim [flags] [experiment ...]
 //
-// Experiments: fig1 fig3 fig4 fig5 policies poll cache quantum unctl decentral latency gantt metrics run export all
+// Experiments: fig1 fig3 fig4 fig5 policies poll cache quantum unctl decentral latency faults gantt metrics run export all
 // (default: fig1 fig3 fig4 fig5).
 package main
 
@@ -49,7 +49,7 @@ func main() {
 		names = []string{"fig1", "fig3", "fig4", "fig5"}
 	}
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"fig1", "fig3", "fig4", "fig5", "policies", "poll", "cache", "quantum", "unctl", "decentral", "latency"}
+		names = []string{"fig1", "fig3", "fig4", "fig5", "policies", "poll", "cache", "quantum", "unctl", "decentral", "latency", "faults"}
 	}
 
 	procsList := []int{1, 2, 4, 8, 12, 16, 20, 24}
@@ -91,6 +91,8 @@ func main() {
 			out = experiments.Latency(o, 24).Render()
 		case "decentral":
 			out = experiments.Decentral(o, nil).Render()
+		case "faults":
+			out = experiments.Faults(o).Render()
 		case "gantt":
 			out = experiments.GanttDemo(o, *policy, *control, 3*sim.Second)
 		case "metrics":

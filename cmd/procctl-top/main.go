@@ -9,11 +9,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"strings"
+	"syscall"
 	"time"
 
 	"procctl/internal/runtime/coordinator"
@@ -92,7 +96,7 @@ func main() {
 		if failures >= maxConsecutiveFailures {
 			log.Fatalf("procctl-top: %v (%d consecutive failures)", err, failures)
 		}
-		log.Printf("procctl-top: %v (retry %d/%d)", err, failures, maxConsecutiveFailures-1)
+		log.Print(retryMessage(err, failures, maxConsecutiveFailures-1))
 		time.Sleep(time.Duration(failures) * time.Second)
 		if c, derr := coordinator.Dial(network, addr); derr == nil {
 			client.Close()
@@ -101,15 +105,55 @@ func main() {
 	}
 }
 
+// daemonGone reports whether a refresh failure means the daemon itself
+// is unreachable (crashed, restarting, socket gone) rather than a
+// protocol-level error it answered with.
+func daemonGone(err error) bool {
+	var oe *net.OpError
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ENOENT) ||
+		errors.As(err, &oe)
+}
+
+// retryMessage is the -watch failure line. It distinguishes "the daemon
+// is gone, reconnecting" from "the daemon answered with an error" so a
+// reader can tell a restart from a misbehaving request.
+func retryMessage(err error, attempt, max int) string {
+	if daemonGone(err) {
+		return fmt.Sprintf("procctl-top: daemon unreachable: %v (reconnecting, retry %d/%d)", err, attempt, max)
+	}
+	return fmt.Sprintf("procctl-top: transient error: %v (retry %d/%d)", err, attempt, max)
+}
+
 func print(st *coordinator.Status) {
-	w := os.Stdout
-	fmt.Fprintf(w, "capacity %d, external load %d, %d application(s)\n",
+	fmt.Fprint(os.Stdout, statusTable(st))
+}
+
+// statusTable renders the status snapshot, including each leased
+// member's remaining lease ("-" for members without one).
+func statusTable(st *coordinator.Status) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "capacity %d, external load %d, %d application(s)",
 		st.Capacity, st.ExternalLoad, len(st.Apps))
+	if st.LeaseSeconds > 0 {
+		fmt.Fprintf(&b, ", lease %gs", st.LeaseSeconds)
+	}
+	b.WriteByte('\n')
 	if len(st.Apps) == 0 {
-		return
+		return b.String()
 	}
-	fmt.Fprintf(w, "%-20s %6s %6s %6s\n", "APP", "PROCS", "WEIGHT", "TARGET")
+	fmt.Fprintf(&b, "%-20s %6s %6s %6s %6s\n", "APP", "PROCS", "WEIGHT", "TARGET", "LEASE")
 	for _, a := range st.Apps {
-		fmt.Fprintf(w, "%-20s %6d %6d %6d\n", a.Name, a.Procs, a.Weight, a.Target)
+		lease := "-"
+		if a.LeaseRemaining >= 0 {
+			lease = fmt.Sprintf("%.0fs", a.LeaseRemaining)
+		}
+		fmt.Fprintf(&b, "%-20s %6d %6d %6d %6s\n", a.Name, a.Procs, a.Weight, a.Target, lease)
 	}
+	return b.String()
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"syscall"
+	"testing"
+
+	"procctl/internal/runtime/coordinator"
+)
+
+func TestDaemonGone(t *testing.T) {
+	gone := []error{
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		net.ErrClosed,
+		syscall.ECONNREFUSED,
+		syscall.ECONNRESET,
+		syscall.EPIPE,
+		syscall.ENOENT, // unix socket file removed by a dead daemon
+		&net.OpError{Op: "read", Err: errors.New("broken")},
+		fmt.Errorf("coordinator: poll: %w", io.EOF), // wrapped, as the client returns it
+	}
+	for _, err := range gone {
+		if !daemonGone(err) {
+			t.Errorf("daemonGone(%v) = false, want true", err)
+		}
+	}
+	answered := []error{
+		errors.New("coordinator: unknown application \"x\""),
+		fmt.Errorf("decoding status: %w", errors.New("bad json")),
+	}
+	for _, err := range answered {
+		if daemonGone(err) {
+			t.Errorf("daemonGone(%v) = true, want false: the daemon answered", err)
+		}
+	}
+}
+
+func TestRetryMessageDistinguishesDaemonDeath(t *testing.T) {
+	got := retryMessage(io.EOF, 2, 4)
+	if !strings.Contains(got, "daemon unreachable") || !strings.Contains(got, "reconnecting") {
+		t.Errorf("daemon-death retry message %q does not say the daemon is unreachable", got)
+	}
+	if !strings.Contains(got, "retry 2/4") {
+		t.Errorf("retry message %q missing the attempt count", got)
+	}
+
+	got = retryMessage(errors.New("coordinator: unknown application"), 1, 4)
+	if !strings.Contains(got, "transient error") {
+		t.Errorf("protocol-error retry message %q does not call the error transient", got)
+	}
+	if strings.Contains(got, "unreachable") {
+		t.Errorf("protocol-error retry message %q wrongly claims the daemon is gone", got)
+	}
+}
+
+func TestStatusTableShowsLease(t *testing.T) {
+	st := &coordinator.Status{
+		Capacity:     8,
+		ExternalLoad: 1,
+		LeaseSeconds: 18,
+		Apps: []coordinator.AppStatus{
+			{Name: "fft", Procs: 8, Weight: 1, Target: 4, LeaseRemaining: 12.4},
+			{Name: "local", Procs: 4, Weight: 1, Target: 3, LeaseRemaining: -1},
+		},
+	}
+	got := statusTable(st)
+	for _, want := range []string{"capacity 8", "external load 1", "lease 18s", "LEASE", "12s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("status table missing %q:\n%s", want, got)
+		}
+	}
+	// The in-process member has no lease; its column shows "-".
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "local") && !strings.HasSuffix(strings.TrimRight(line, " "), "-") {
+			t.Errorf("leaseless member's row does not end in '-': %q", line)
+		}
+	}
+}
+
+func TestStatusTableWithoutLease(t *testing.T) {
+	st := &coordinator.Status{Capacity: 4, Apps: nil}
+	got := statusTable(st)
+	if strings.Contains(got, "lease") {
+		t.Errorf("lease shown with expiry disabled:\n%s", got)
+	}
+	if !strings.Contains(got, "0 application(s)") {
+		t.Errorf("empty table missing the application count:\n%s", got)
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The suite runs the built binary: main exits through os.Exit on flag
+// and usage errors, so exit codes and stderr can only be observed from
+// outside the process.
+
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "procctl-trace-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binPath = filepath.Join(dir, "procctl-trace")
+	if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building procctl-trace: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// recordTrace runs the record subcommand and returns its stdout (the trace).
+func recordTrace(t *testing.T, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(binPath, append([]string{"record"}, args...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("record %v: %v\n%s", args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+func TestRecordSummaryGolden(t *testing.T) {
+	trace := recordTrace(t, "-seed", "1", "-seconds", "2", "-control")
+
+	cmd := exec.Command(binPath, "summary")
+	cmd.Stdin = bytes.NewReader(trace)
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "summary_seed1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, golden) {
+		t.Errorf("seed-1 summary drifted from testdata/summary_seed1.golden.\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+}
+
+func TestRecordDeterministicPerSeed(t *testing.T) {
+	a := recordTrace(t, "-seed", "7", "-seconds", "1")
+	b := recordTrace(t, "-seed", "7", "-seconds", "1")
+	if !bytes.Equal(a, b) {
+		t.Error("same-seed record runs produced different traces")
+	}
+	c := recordTrace(t, "-seed", "8", "-seconds", "1")
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced byte-identical traces")
+	}
+}
+
+func TestSummaryReadsFileFlag(t *testing.T) {
+	trace := recordTrace(t, "-seed", "1", "-seconds", "1")
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, trace, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(binPath, "summary", "-in", path).Output()
+	if err != nil {
+		t.Fatalf("summary -in: %v", err)
+	}
+	if !strings.Contains(string(out), "Trace summary:") {
+		t.Errorf("summary -in output missing header:\n%s", out)
+	}
+}
+
+// run executes the binary expecting failure; it returns the exit code
+// and stderr.
+func run(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("%v unexpectedly succeeded", args)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%v: %v", args, err)
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+func TestUsageErrorsExitNonZero(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"no subcommand", nil, 2, "usage:"},
+		{"unknown subcommand", []string{"replay"}, 2, "usage:"},
+		{"unknown record flag", []string{"record", "-nope"}, 2, "flag provided but not defined"},
+		{"unknown summary flag", []string{"summary", "-nope"}, 2, "flag provided but not defined"},
+		{"unknown policy", []string{"record", "-policy", "psychic"}, 1, "unknown policy"},
+		{"missing input file", []string{"summary", "-in", "/no/such/trace.jsonl"}, 1, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := run(t, tc.args...)
+			if code != tc.code {
+				t.Errorf("exit code %d, want %d (stderr: %s)", code, tc.code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr %q missing %q", stderr, tc.want)
+			}
+		})
+	}
+}

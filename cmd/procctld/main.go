@@ -30,6 +30,7 @@ func main() {
 		listen   = flag.String("listen", "unix:/tmp/procctld.sock", "listen address (unix:PATH or tcp:HOST:PORT)")
 		capacity = flag.Int("capacity", runtime.NumCPU(), "processors to divide among applications")
 		metrics  = flag.String("metrics", "", "serve Prometheus-style metrics over HTTP at this address (e.g. 127.0.0.1:9717)")
+		lease    = flag.Duration("lease", coordinator.DefaultLease, "unregister members whose connection is silent this long (0 disables)")
 		verbose  = flag.Bool("v", false, "log registrations and rebalances")
 	)
 	flag.Parse()
@@ -47,9 +48,13 @@ func main() {
 		log.Fatalf("procctld: listen: %v", err)
 	}
 
+	leaseCfg := *lease
+	if leaseCfg == 0 {
+		leaseCfg = -1 // flag 0 = disabled; config negative = disabled
+	}
 	coord := coordinator.New(*capacity)
-	srv := coordinator.NewServer(coord, ln)
-	log.Printf("procctld: managing %d processors on %s", *capacity, ln.Addr())
+	srv := coordinator.NewServerWith(coord, ln, coordinator.ServerConfig{Lease: leaseCfg})
+	log.Printf("procctld: managing %d processors on %s (lease %v)", *capacity, ln.Addr(), *lease)
 
 	var metricsSrv *http.Server
 	if *metrics != "" {

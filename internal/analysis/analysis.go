@@ -88,6 +88,7 @@ var SimPackages = []string{
 	"internal/core",
 	"internal/ctrl",
 	"internal/metrics",
+	"internal/faultinject",
 }
 
 // OrderedPackages lists additional package prefixes where map-iteration

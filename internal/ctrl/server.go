@@ -21,6 +21,12 @@ import (
 // below the applications' 6 s poll interval.
 const DefaultScanInterval = sim.Second
 
+// DefaultLease is how long a registered application may go without
+// talking to the server (Register or Poll) before it is presumed dead
+// and its capacity is reclaimed: three missed polls at the paper's 6 s
+// poll interval.
+const DefaultLease = 18 * sim.Second
+
 // PartitionSizer is implemented by scheduling policies that dedicate a
 // processor partition to each application (kernel.Partition). When the
 // kernel runs such a policy, the server aligns each application's target
@@ -40,12 +46,17 @@ type Server struct {
 	order      []kernel.AppID       // registration order (deterministic)
 	targets    map[kernel.AppID]int
 
-	// Stats.
-	Scans       int64
-	PollsServed int64
+	lease    sim.Duration
+	lastSeen map[kernel.AppID]sim.Time // last Register/Poll per app
 
-	scans *metrics.Counter
-	polls *metrics.Counter
+	// Stats.
+	Scans         int64
+	PollsServed   int64
+	LeaseExpiries int64
+
+	scans    *metrics.Counter
+	polls    *metrics.Counter
+	expiries *metrics.Counter
 }
 
 // NewServer creates the server and installs its periodic scan on the
@@ -59,8 +70,11 @@ func NewServer(k *kernel.Kernel, interval sim.Duration) *Server {
 		interval:   interval,
 		registered: make(map[kernel.AppID]int),
 		targets:    make(map[kernel.AppID]int),
+		lease:      DefaultLease,
+		lastSeen:   make(map[kernel.AppID]sim.Time),
 		scans:      k.Metrics().Counter("sim_ctrl_scans_total", "central-server target recomputations"),
 		polls:      k.Metrics().Counter("sim_ctrl_polls_total", "application polls served"),
+		expiries:   k.Metrics().Counter("sim_ctrl_lease_expiries_total", "applications unregistered because their lease lapsed"),
 	}
 	k.Engine().Every(interval, func() bool {
 		s.Scan()
@@ -68,6 +82,13 @@ func NewServer(k *kernel.Kernel, interval sim.Duration) *Server {
 	})
 	return s
 }
+
+// SetLease changes how long an application may stay silent before the
+// server reclaims its allocation. Non-positive disables expiry.
+func (s *Server) SetLease(d sim.Duration) { s.lease = d }
+
+// Lease returns the current lease duration.
+func (s *Server) Lease() sim.Duration { return s.lease }
 
 // Register implements threads.Controller: a new controllable
 // application announces itself and its process count.
@@ -77,20 +98,27 @@ func (s *Server) Register(id kernel.AppID, procs int) {
 	}
 	s.registered[id] = procs
 	s.targets[id] = procs // until the first scan, let it run everything
-	s.Scan()              // the paper's server reacts to creation promptly
+	s.lastSeen[id] = s.k.Engine().Now()
+	s.Scan() // the paper's server reacts to creation promptly
 }
 
 // Unregister implements threads.Controller.
 func (s *Server) Unregister(id kernel.AppID) {
+	s.drop(id)
+	s.Scan() // freed processors are redistributed promptly
+}
+
+// drop removes every trace of an application without rescanning.
+func (s *Server) drop(id kernel.AppID) {
 	delete(s.registered, id)
 	delete(s.targets, id)
+	delete(s.lastSeen, id)
 	for i, a := range s.order {
 		if a == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
 	}
-	s.Scan() // freed processors are redistributed promptly
 }
 
 // Poll implements threads.Controller: return the application's current
@@ -99,6 +127,9 @@ func (s *Server) Unregister(id kernel.AppID) {
 func (s *Server) Poll(id kernel.AppID) int {
 	s.PollsServed++
 	s.polls.Inc()
+	if _, ok := s.registered[id]; ok {
+		s.lastSeen[id] = s.k.Engine().Now()
+	}
 	if t, ok := s.targets[id]; ok {
 		return t
 	}
@@ -116,6 +147,7 @@ func (s *Server) Registered() int { return len(s.order) }
 func (s *Server) Scan() {
 	s.Scans++
 	s.scans.Inc()
+	s.expireLeases()
 
 	if sizer, ok := s.k.Policy().(PartitionSizer); ok {
 		for _, app := range s.order {
@@ -166,6 +198,33 @@ func (s *Server) Scan() {
 	for i, app := range s.order {
 		s.targets[app] = alloc[i]
 	}
+}
+
+// expireLeases unregisters applications that have not polled within the
+// lease. A crashed application stops polling, so without this its
+// (empty) demand would keep pinning processors: liveProcs falls to zero
+// and the registered-count fallback would hold its old allocation
+// forever. Expired apps lose their entry entirely; survivors absorb the
+// freed capacity in the caller's recompute.
+func (s *Server) expireLeases() {
+	if s.lease <= 0 {
+		return
+	}
+	now := s.k.Engine().Now()
+	i := 0
+	for _, app := range s.order { // s.order keeps expiry deterministic
+		if now.Sub(s.lastSeen[app]) > s.lease {
+			s.LeaseExpiries++
+			s.expiries.Inc()
+			delete(s.registered, app)
+			delete(s.targets, app)
+			delete(s.lastSeen, app)
+			continue
+		}
+		s.order[i] = app
+		i++
+	}
+	s.order = s.order[:i]
 }
 
 // liveProcs counts an application's non-exited processes (runnable,

@@ -188,6 +188,69 @@ func TestServerPartitionNotMaterialized(t *testing.T) {
 	k.Shutdown()
 }
 
+func TestServerLeaseExpiresSilentApp(t *testing.T) {
+	// App 1 crashes at 5s and goes silent; app 2 keeps polling. Within
+	// one lease of the crash the server must forget app 1 and hand its
+	// processors to app 2.
+	k := newKernel(16, kernel.NewTimeshare())
+	s := NewServer(k, 0)
+	spin(k, 1, 16, 3600*sim.Second)
+	spin(k, 2, 16, 3600*sim.Second)
+	s.Register(1, 16)
+	s.Register(2, 16)
+	if s.Target(2) != 8 {
+		t.Fatalf("initial target %d, want 8", s.Target(2))
+	}
+	k.Engine().Every(6*sim.Second, func() bool { s.Poll(2); return true })
+	k.Engine().Schedule(sim.Time(5*sim.Second), func() { k.KillApp(1) })
+	// Last contact from app 1 was Register at t=0, so its lease (18s)
+	// lapses at 18s — well within one lease of the 5s crash.
+	k.Engine().Schedule(sim.Time(5*sim.Second+DefaultLease), func() {
+		if s.Registered() != 1 {
+			t.Errorf("app 1 still registered one lease after its crash")
+		}
+		if got := s.Target(2); got != 16 {
+			t.Errorf("survivor target %d one lease after crash, want 16", got)
+		}
+	})
+	k.Engine().Run(sim.Time(30 * sim.Second))
+	if s.LeaseExpiries != 1 {
+		t.Errorf("LeaseExpiries = %d, want 1", s.LeaseExpiries)
+	}
+	if s.Target(1) != 0 {
+		t.Errorf("expired app still has target %d", s.Target(1))
+	}
+	k.Shutdown()
+}
+
+func TestServerPollRenewsLease(t *testing.T) {
+	// An app that polls on schedule must never expire, however long the
+	// run.
+	k := newKernel(8, kernel.NewTimeshare())
+	s := NewServer(k, 0)
+	spin(k, 1, 8, 3600*sim.Second)
+	s.Register(1, 8)
+	k.Engine().Every(6*sim.Second, func() bool { s.Poll(1); return true })
+	k.Engine().Run(sim.Time(120 * sim.Second))
+	if s.Registered() != 1 || s.LeaseExpiries != 0 {
+		t.Errorf("polling app expired: registered=%d expiries=%d", s.Registered(), s.LeaseExpiries)
+	}
+	k.Shutdown()
+}
+
+func TestServerSetLeaseZeroDisablesExpiry(t *testing.T) {
+	k := newKernel(8, kernel.NewTimeshare())
+	s := NewServer(k, 0)
+	s.SetLease(0)
+	spin(k, 1, 8, 3600*sim.Second)
+	s.Register(1, 8)
+	k.Engine().Run(sim.Time(120 * sim.Second)) // silent far past DefaultLease
+	if s.Registered() != 1 {
+		t.Error("app expired despite lease expiry being disabled")
+	}
+	k.Shutdown()
+}
+
 func TestServerPollsServedCounter(t *testing.T) {
 	k := newKernel(4, kernel.NewTimeshare())
 	s := NewServer(k, 0)

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"procctl/internal/faultinject"
+	"procctl/internal/kernel"
+)
+
+func TestFaultsRecoversWithinOneLease(t *testing.T) {
+	r := Faults(Options{Seed: 1})
+	if r.LockCrashes != 1 {
+		t.Fatalf("LockCrashes = %d, want exactly 1", r.LockCrashes)
+	}
+	if r.CrashedAt == 0 {
+		t.Fatal("crash never landed")
+	}
+	if r.ForcedReleases < 1 {
+		t.Errorf("ForcedReleases = %d, want >= 1 (victim died holding the pivot lock)", r.ForcedReleases)
+	}
+	if r.LeaseExpiries != 1 {
+		t.Errorf("LeaseExpiries = %d, want 1", r.LeaseExpiries)
+	}
+	if r.TargetBefore != 8 {
+		t.Errorf("survivor target before crash = %d, want the equipartition 8", r.TargetBefore)
+	}
+	if r.TargetAfter != 16 {
+		t.Errorf("survivor target after recovery = %d, want the full machine", r.TargetAfter)
+	}
+	if !r.RecoveredWithinLease() {
+		t.Errorf("recovery took %v, want within one lease (%v)", r.RecoveredIn, r.Lease)
+	}
+	for _, name := range []string{
+		kernel.MetricKills,
+		kernel.MetricForcedReleases,
+		faultinject.MetricLockCrashes,
+		"sim_ctrl_lease_expiries_total",
+	} {
+		if !strings.Contains(r.Snapshot, name) {
+			t.Errorf("snapshot is missing %s", name)
+		}
+	}
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full faults runs in -short mode")
+	}
+	a, b := Faults(Options{Seed: 7}), Faults(Options{Seed: 7})
+	if a.Snapshot != b.Snapshot {
+		t.Fatal("same-seed faults runs produced different metrics snapshots")
+	}
+	if a.CrashedAt != b.CrashedAt || a.RecoveredIn != b.RecoveredIn {
+		t.Fatalf("same-seed timelines diverged: crash %v/%v recovery %v/%v",
+			a.CrashedAt, b.CrashedAt, a.RecoveredIn, b.RecoveredIn)
+	}
+	c := Faults(Options{Seed: 8})
+	if c.Snapshot == a.Snapshot {
+		t.Error("different seeds produced identical snapshots (injector RNG not wired to seed?)")
+	}
+}

@@ -243,8 +243,26 @@ func (k *Kernel) dispatch(cpu *cpuState) {
 	if cpu.running != nil {
 		return
 	}
-	p := k.pol.PickNext(cpu.hw.ID())
 	now := k.eng.Now()
+	var p *Process
+	for {
+		p = k.pol.PickNext(cpu.hw.ID())
+		if p == nil {
+			break
+		}
+		if p.killed {
+			// A crashed process's queue husk: finish its teardown and
+			// pick again.
+			k.reap(p)
+			continue
+		}
+		if p.stallUntil > now {
+			// A pending stall fault: freeze instead of running.
+			k.stallPicked(p)
+			continue
+		}
+		break
+	}
 	if p == nil {
 		if !cpu.idle {
 			cpu.idle = true
@@ -332,6 +350,7 @@ func (k *Kernel) runProc(p *Process) {
 				l.lockedAt = now
 				l.Acquires++
 				p.lockDepth++
+				p.held = append(p.held, l)
 				p.Stats.LockAcquires++
 				p.waitingLock = nil
 				k.advance(p)
@@ -353,6 +372,12 @@ func (k *Kernel) runProc(p *Process) {
 			}
 			l.HeldTime += now.Sub(l.lockedAt)
 			p.lockDepth--
+			for i := len(p.held) - 1; i >= 0; i-- {
+				if p.held[i] == l {
+					p.held = append(p.held[:i], p.held[i+1:]...)
+					break
+				}
+			}
 			l.holder = nil
 			if w := l.firstRunningWaiter(); w != nil {
 				k.grantLock(l, w)
@@ -439,6 +464,7 @@ func (k *Kernel) grantLock(l *SpinLock, w *Process) {
 	l.lockedAt = now
 	l.Acquires++
 	w.lockDepth++
+	w.held = append(w.held, l)
 	w.Stats.LockAcquires++
 	w.Stats.SpinTime += now.Sub(w.spinStart)
 	k.met.spinMicros.Add(int64(now.Sub(w.spinStart)))
@@ -607,6 +633,9 @@ func (k *Kernel) CountByApp() (perApp map[AppID]int, uncontrolled int) {
 	for _, p := range k.procs {
 		if p.state != Runnable && p.state != Running {
 			continue
+		}
+		if p.killed {
+			continue // a crashed queue husk is not runnable work
 		}
 		if p.app == AppNone {
 			uncontrolled++

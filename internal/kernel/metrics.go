@@ -25,6 +25,12 @@ type kernelMetrics struct {
 	spinMicros   *metrics.Counter
 	cpuMicros    *metrics.Counter
 	runqWait     *metrics.Histogram
+
+	// Fault-injection counters (internal/faultinject drives the events;
+	// the kernel owns the recovery machinery being counted).
+	kills          *metrics.Counter
+	stalls         *metrics.Counter
+	forcedReleases *metrics.Counter
 }
 
 // Metric names exported by the kernel layer; see DESIGN.md for the
@@ -42,6 +48,10 @@ const (
 	MetricRunqWait     = "sim_kernel_runqueue_wait_micros"
 	MetricRunnable     = "sim_kernel_runnable_procs"
 	MetricLive         = "sim_kernel_live_procs"
+
+	MetricKills          = "sim_kernel_kills_total"
+	MetricStalls         = "sim_kernel_stalls_total"
+	MetricForcedReleases = "sim_kernel_forced_lock_releases_total"
 )
 
 func newKernelMetrics(reg *metrics.Registry) *kernelMetrics {
@@ -57,6 +67,10 @@ func newKernelMetrics(reg *metrics.Registry) *kernelMetrics {
 		spinMicros:   reg.Counter(MetricSpinMicros, "virtual CPU time burned spin-waiting on held locks"),
 		cpuMicros:    reg.Counter(MetricCPUMicros, "virtual CPU time consumed by processes (incl. spin and reload)"),
 		runqWait:     reg.Histogram(MetricRunqWait, "runnable-to-dispatched wait per dispatch", nil),
+
+		kills:          reg.Counter(MetricKills, "processes crashed by fault injection"),
+		stalls:         reg.Counter(MetricStalls, "stall faults applied to processes"),
+		forcedReleases: reg.Counter(MetricForcedReleases, "spinlocks force-released because their holder crashed"),
 	}
 }
 
@@ -91,6 +105,9 @@ func (k *Kernel) collect() {
 
 	runnable, live := 0, 0
 	for _, p := range k.procs {
+		if p.killed && p.state != Exited {
+			continue // crashed husk awaiting reap: neither runnable nor live
+		}
 		switch p.state {
 		case Runnable, Running:
 			runnable++

@@ -114,8 +114,16 @@ type Process struct {
 	waitingLock *SpinLock
 	spinStart   sim.Time
 
+	// Locks currently held, in acquisition order (fault injection
+	// force-releases them on a crash).
+	held []*SpinLock
+
 	// Sleep state.
 	sleepQ *WaitQueue
+
+	// Fault-injection state.
+	killed     bool     // crashed; reaped at the next scheduler touch
+	stallUntil sim.Time // frozen until this instant when picked
 
 	// Policy-visible state.
 	usage     float64 // decayed CPU usage (BSD-style)

@@ -13,10 +13,11 @@ type SpinLock struct {
 	waiters []*Process // FIFO arrival order; both running and preempted waiters
 
 	// Stats.
-	Acquires  int64
-	Contended int64        // acquisitions that had to spin
-	HeldTime  sim.Duration // total time the lock was held
-	lockedAt  sim.Time
+	Acquires       int64
+	Contended      int64        // acquisitions that had to spin
+	ForcedReleases int64        // releases forced by the holder crashing
+	HeldTime       sim.Duration // total time the lock was held
+	lockedAt       sim.Time
 }
 
 // NewSpinLock returns an unlocked spinlock with a debug name.
@@ -89,6 +90,19 @@ func (q *WaitQueue) Len() int { return len(q.procs) }
 func (q *WaitQueue) add(p *Process) {
 	q.procs = append(q.procs, p)
 	q.Sleeps++
+}
+
+// remove deletes p if present, preserving order, and reports success.
+// It does not count as a wake (fault injection uses it to tear a
+// crashed process out of the queue).
+func (q *WaitQueue) remove(p *Process) bool {
+	for i, x := range q.procs {
+		if x == p {
+			q.procs = append(q.procs[:i], q.procs[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 func (q *WaitQueue) pop() *Process {

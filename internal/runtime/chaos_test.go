@@ -1,0 +1,285 @@
+// Chaos suite: the runtime layers under injected failure. Clients hang,
+// clients die, the daemon restarts mid-traffic, and the simulator runs
+// seeded fault storms — after each, the system must converge: targets
+// re-sum to capacity, survivors get the reclaimed processors, no
+// goroutines leak, and same-seed simulated runs stay byte-identical.
+package runtime_test
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"procctl/internal/apps"
+	"procctl/internal/ctrl"
+	"procctl/internal/faultinject"
+	"procctl/internal/kernel"
+	"procctl/internal/machine"
+	"procctl/internal/runtime/coordinator"
+	"procctl/internal/runtime/pool"
+	"procctl/internal/sim"
+	"procctl/internal/threads"
+)
+
+// chaosLease is the shortened lease the wall-clock tests run under.
+const (
+	chaosLease = 300 * time.Millisecond
+	chaosSweep = 50 * time.Millisecond
+)
+
+// fastDrive returns DriveOptions scaled down for tests.
+func fastDrive() coordinator.DriveOptions {
+	return coordinator.DriveOptions{
+		Interval:   50 * time.Millisecond,
+		Grace:      10 * time.Second, // hold the last target; decay is tested elsewhere
+		BackoffMin: 20 * time.Millisecond,
+		BackoffMax: 100 * time.Millisecond,
+	}
+}
+
+// startDaemon runs a coordinator daemon on sock and returns its
+// coordinator for state assertions. Callers own srv.Close.
+func startDaemon(t *testing.T, sock string, capacity int, cfg coordinator.ServerConfig) (*coordinator.Coordinator, *coordinator.Server) {
+	t.Helper()
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := coordinator.New(capacity)
+	srv := coordinator.NewServerWith(coord, ln, cfg)
+	go srv.Serve()
+	return coord, srv
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// guardGoroutines fails the test if the goroutine count has not
+// returned to its starting level once all cleanups have run. Register
+// it first: t.Cleanup is LIFO, so the guard then runs last.
+func guardGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d at start, %d after cleanup\n%s",
+			before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+	})
+}
+
+// sumTargets re-sums the coordinator's target table.
+func sumTargets(coord *coordinator.Coordinator) int {
+	n := 0
+	for _, v := range coord.Targets() {
+		n += v
+	}
+	return n
+}
+
+// TestChaosHungAndKilledClientsReclaimed runs three members — one
+// healthy, one whose process dies (connection drops), one hung
+// (connection open, never speaks again) — and asserts both failures'
+// processors flow back to the survivor: the kill immediately, the hang
+// within one lease.
+func TestChaosHungAndKilledClientsReclaimed(t *testing.T) {
+	guardGoroutines(t)
+	sock := filepath.Join(t.TempDir(), "procctld.sock")
+	coord, srv := startDaemon(t, sock, 8, coordinator.ServerConfig{Lease: chaosLease, SweepInterval: chaosSweep})
+	t.Cleanup(func() { srv.Close() })
+
+	healthy, err := coordinator.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { healthy.Close() })
+	p := pool.New(pool.Config{Name: "healthy", Workers: 8})
+	drv, err := healthy.DriveWith("healthy", 8, p, fastDrive())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hung, err := coordinator.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hung.Close() })
+	if _, err := hung.Register("hung", 8); err != nil {
+		t.Fatal(err)
+	}
+	killed, err := coordinator.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := killed.Register("killed", 8); err != nil {
+		t.Fatal(err)
+	}
+	reclaimStart := time.Now() // both failures are "in progress" from here
+
+	waitFor(t, 3*time.Second, func() bool {
+		return len(coord.Members()) == 3 && sumTargets(coord) == 8
+	}, "three members never split the machine")
+
+	// The killed client's process dies: its connection drops and the
+	// daemon must unregister it on the spot, no lease needed.
+	killed.Close()
+	waitFor(t, 3*time.Second, func() bool { return len(coord.Members()) == 2 },
+		"killed client never unregistered on connection drop")
+
+	// The hung client stays connected but silent; only the lease sweep
+	// can reclaim it. The survivor must end up with the whole machine.
+	waitFor(t, 3*time.Second, func() bool {
+		m := coord.Members()
+		return len(m) == 1 && m[0] == "healthy" && p.Target() == 8
+	}, "hung client's processors never reclaimed by the lease sweep")
+	reclaimed := time.Since(reclaimStart)
+
+	// "Within one lease", with wall-clock slack for sweep cadence and a
+	// loaded CI machine. The tight deterministic bound lives in the
+	// simulator's fault tests; this guards against order-of-magnitude
+	// regressions (e.g. waiting for a read deadline instead of the sweep).
+	if limit := chaosLease + time.Second; reclaimed > limit {
+		t.Errorf("capacity reclaimed after %v, want within %v", reclaimed, limit)
+	}
+	if v, ok := coord.Metrics().Value("coordinator_lease_expiries_total"); !ok || v < 1 {
+		t.Errorf("coordinator_lease_expiries_total = %d, want >= 1", v)
+	}
+	if got := sumTargets(coord); got != 8 {
+		t.Errorf("targets sum to %d after recovery, want the full capacity 8", got)
+	}
+
+	drv.Stop()
+	p.Close()
+	p.Wait()
+}
+
+// TestChaosDaemonRestartMidTraffic kills and restarts the daemon while
+// two pools are executing a steady stream of tasks. Both drivers must
+// ride through it — degraded while the daemon is down, transparently
+// re-registered after it returns — without user code noticing.
+func TestChaosDaemonRestartMidTraffic(t *testing.T) {
+	guardGoroutines(t)
+	sock := filepath.Join(t.TempDir(), "procctld.sock")
+	_, srv1 := startDaemon(t, sock, 8, coordinator.ServerConfig{})
+
+	stopTraffic := make(chan struct{})
+	t.Cleanup(func() { close(stopTraffic) })
+	newApp := func(name string) (*pool.Pool, *coordinator.Driver) {
+		c, err := coordinator.Dial("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		p := pool.New(pool.Config{Name: name, Workers: 8})
+		drv, err := c.DriveWith(name, 8, p, fastDrive())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { // steady traffic: the user code that must not notice
+			for {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				p.Submit(func() { time.Sleep(time.Millisecond) })
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+		return p, drv
+	}
+	pa, da := newApp("alpha")
+	pb, db := newApp("beta")
+
+	waitFor(t, 3*time.Second, func() bool { return pa.Target() == 4 && pb.Target() == 4 },
+		"two members never settled on the 4/4 split")
+
+	// Daemon dies mid-traffic.
+	srv1.Close()
+	waitFor(t, 3*time.Second, func() bool { return da.Stats().Degraded && db.Stats().Degraded },
+		"drivers never noticed the daemon dying")
+	doneAtOutage := pa.Stats().Completed + pb.Stats().Completed
+
+	// Daemon restarts on the same socket with an empty member table.
+	coord2, srv2 := startDaemon(t, sock, 8, coordinator.ServerConfig{})
+	t.Cleanup(func() { srv2.Close() })
+
+	waitFor(t, 5*time.Second, func() bool {
+		sa, sb := da.Stats(), db.Stats()
+		return sa.Reconnects >= 1 && sb.Reconnects >= 1 && !sa.Degraded && !sb.Degraded &&
+			len(coord2.Members()) == 2
+	}, "drivers never re-registered with the restarted daemon")
+	waitFor(t, 3*time.Second, func() bool {
+		return pa.Target() == 4 && pb.Target() == 4 && sumTargets(coord2) == 8
+	}, "targets never re-summed to capacity after the restart")
+
+	// Work kept flowing across the outage and after recovery.
+	waitFor(t, 3*time.Second, func() bool {
+		return pa.Stats().Completed+pb.Stats().Completed > doneAtOutage
+	}, "pools stopped executing tasks across the daemon restart")
+
+	da.Stop()
+	db.Stop()
+	pa.Close()
+	pb.Close()
+	pa.Wait()
+	pb.Wait()
+}
+
+// TestChaosSimFaultStormDeterministic throws every simulated fault at
+// once — a crash inside a critical section, a stalled app, a lossy
+// controller channel, lease expiry — and requires the whole run to be a
+// pure function of the seed: two same-seed runs must produce
+// byte-identical metrics snapshots, and a different seed must not.
+func TestChaosSimFaultStormDeterministic(t *testing.T) {
+	run := func(seed uint64) string {
+		eng := sim.NewEngine(seed)
+		mac := machine.New(machine.Config{NumCPU: 8})
+		k := kernel.New(eng, mac, kernel.NewTimeshare(), kernel.DefaultConfig())
+		srv := ctrl.NewServer(k, 0)
+		srv.SetLease(5 * sim.Second)
+		inj := faultinject.New(k, seed+1)
+		flaky := inj.Flaky(srv, 0.2, 0.1)
+		cfg := threads.Config{Procs: 8, Controller: flaky, PollInterval: sim.Second}
+		a := threads.Launch(k, 1, apps.Matmul(16, 2, sim.Second), cfg)
+		threads.Launch(k, 2, apps.TinyGauss(), cfg) // dies mid-critical-section
+		threads.Launch(k, 3, apps.TinyFFT(), cfg)   // frozen for a while
+		inj.CrashAppInLock(sim.Time(10*sim.Millisecond), 2)
+		inj.StallApp(sim.Time(3*sim.Millisecond), 3, 20*sim.Millisecond)
+		eng.Run(sim.Time(0).Add(120 * sim.Second))
+		k.Finalize()
+		k.Shutdown()
+		if !a.Done() {
+			t.Error("surviving app never finished under the fault storm")
+		}
+		var buf bytes.Buffer
+		k.MetricsSnapshot().WriteText(&buf)
+		return buf.String()
+	}
+	x := run(1234)
+	if y := run(1234); x != y {
+		t.Fatalf("same-seed fault storms diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", x, y)
+	}
+	if z := run(4321); z == x {
+		t.Error("different seeds produced byte-identical snapshots; faults are not seeded")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -17,20 +18,25 @@ const DefaultPollInterval = 6 * time.Second
 
 // Client is an application's connection to a coordinator daemon.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	network string // for Redial; empty when built from NewClient
+	addr    string
 }
 
 // Dial connects to a coordinator daemon, e.g. Dial("unix",
-// "/run/procctld.sock") or Dial("tcp", "localhost:7717").
+// "/run/procctld.sock") or Dial("tcp", "localhost:7717"). Clients made
+// by Dial can Redial after the daemon restarts.
 func Dial(network, addr string) (*Client, error) {
 	conn, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("coordinator: dial %s %s: %w", network, addr, err)
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.network, c.addr = network, addr
+	return c, nil
 }
 
 // NewClient wraps an established connection.
@@ -44,7 +50,33 @@ func NewClient(conn net.Conn) *Client {
 
 // Close drops the connection; the daemon unregisters this client's
 // applications.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Redial replaces the connection with a fresh dial to the original
+// address — after a daemon restart, or after the daemon swept this
+// connection's lease. Registrations do not carry over: re-register
+// every application after a successful Redial (DriveWith does this
+// automatically).
+func (c *Client) Redial() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.network == "" {
+		return errors.New("coordinator: client was not created by Dial; cannot re-dial")
+	}
+	conn, err := net.Dial(c.network, c.addr)
+	if err != nil {
+		return fmt.Errorf("coordinator: re-dial %s %s: %w", c.network, c.addr, err)
+	}
+	c.conn.Close()
+	c.conn = conn
+	c.enc = json.NewEncoder(conn)
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	return nil
+}
 
 // roundTrip sends one request and reads one response. The protocol is
 // strictly request/response per connection, guarded by the mutex.
@@ -126,41 +158,282 @@ type Targeter interface {
 }
 
 // Drive registers the application and then polls every interval,
-// applying each target to t — the paper's poll loop, run for the caller.
-// It returns a stop function that unregisters and ends the loop.
+// applying each target to t — the paper's poll loop, run for the caller,
+// with automatic reconnection. It returns a stop function that
+// unregisters and ends the loop.
 func (c *Client) Drive(app string, procs int, t Targeter, interval time.Duration) (stop func(), err error) {
-	if interval <= 0 {
-		interval = DefaultPollInterval
+	d, err := c.DriveWith(app, procs, t, DriveOptions{Interval: interval})
+	if err != nil {
+		return nil, err
 	}
+	return d.Stop, nil
+}
+
+// DriveOptions tunes DriveWith's poll loop and its failure handling.
+// The zero value selects the defaults.
+type DriveOptions struct {
+	// Interval is the poll period (default DefaultPollInterval, the
+	// paper's 6 s).
+	Interval time.Duration
+	// Grace is how long after losing the daemon the last target is
+	// held unchanged. Past it, the target decays toward the full
+	// process count — with no arbiter alive there is no longer anyone
+	// to be fair to, so the application drifts back to uncontrolled
+	// behaviour rather than idling forever on a stale small target.
+	// Default 2×Interval.
+	Grace time.Duration
+	// BackoffMin/BackoffMax bound the jittered exponential backoff
+	// between reconnection attempts (defaults 100 ms and 5 s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Metrics, when non-nil, receives per-app poll/reconnect counters
+	// and a degraded-mode gauge.
+	Metrics *metrics.Registry
+}
+
+func (o DriveOptions) withDefaults() DriveOptions {
+	if o.Interval <= 0 {
+		o.Interval = DefaultPollInterval
+	}
+	if o.Grace <= 0 {
+		o.Grace = 2 * o.Interval
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 100 * time.Millisecond
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = 5 * time.Second
+		if o.BackoffMax < o.BackoffMin {
+			o.BackoffMax = o.BackoffMin
+		}
+	}
+	return o
+}
+
+// DriveStats is a point-in-time snapshot of a Driver's health.
+type DriveStats struct {
+	Polls      int64 // successful polls
+	PollErrors int64 // polls that failed (connection lost)
+	Redials    int64 // reconnection attempts
+	Reconnects int64 // successful re-dial + re-register cycles
+	// Degraded reports the loop is running without a daemon: the last
+	// target is held through the grace period, then decayed toward the
+	// full process count.
+	Degraded bool
+	// DegradedFor is how long the daemon has been unreachable (0 when
+	// connected).
+	DegradedFor time.Duration
+	// Target is the most recently applied worker target.
+	Target int
+}
+
+// Driver is a running DriveWith loop.
+type Driver struct {
+	c     *Client
+	app   string
+	procs int
+	t     Targeter
+	opts  DriveOptions
+
+	mu     sync.Mutex
+	stats  DriveStats
+	lostAt time.Time // zero when connected
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	polls, pollErrors, redials, reconnects *metrics.Counter
+	degraded, targetGauge                  *metrics.Gauge
+}
+
+// DriveWith registers the application and runs the poll loop with
+// automatic recovery: when the daemon stops answering, the driver
+// re-dials with jittered exponential backoff and transparently
+// re-registers once the daemon is back (a restarted daemon has an empty
+// member table, so registration is repeated, not assumed). While
+// disconnected the driver applies the degraded-mode policy described on
+// DriveOptions.Grace. The initial registration must succeed; everything
+// after that is handled.
+func (c *Client) DriveWith(app string, procs int, t Targeter, opts DriveOptions) (*Driver, error) {
+	opts = opts.withDefaults()
 	target, err := c.Register(app, procs)
 	if err != nil {
 		return nil, err
 	}
-	t.SetTarget(target)
-	done := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-ticker.C:
-				if target, err := c.Poll(app); err == nil {
-					t.SetTarget(target)
+	d := &Driver{
+		c: c, app: app, procs: procs, t: t, opts: opts,
+		done: make(chan struct{}),
+	}
+	if reg := opts.Metrics; reg != nil {
+		d.polls = reg.Counter(metrics.Name("coordinator_client_polls_total", "app", app), "successful target polls")
+		d.pollErrors = reg.Counter(metrics.Name("coordinator_client_poll_errors_total", "app", app), "polls that failed")
+		d.redials = reg.Counter(metrics.Name("coordinator_client_redials_total", "app", app), "reconnection attempts")
+		d.reconnects = reg.Counter(metrics.Name("coordinator_client_reconnects_total", "app", app), "successful re-dial + re-register cycles")
+		d.degraded = reg.Gauge(metrics.Name("coordinator_client_degraded", "app", app), "1 while running without a reachable daemon")
+		d.targetGauge = reg.Gauge(metrics.Name("coordinator_client_target", "app", app), "most recently applied worker target")
+	}
+	d.apply(target)
+	d.wg.Add(1)
+	go d.loop()
+	return d, nil
+}
+
+// Stats returns a snapshot of the driver's health.
+func (d *Driver) Stats() DriveStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	if !d.lostAt.IsZero() {
+		s.DegradedFor = time.Since(d.lostAt)
+	}
+	return s
+}
+
+// Stop ends the loop and unregisters the application (best-effort if
+// the daemon is unreachable).
+func (d *Driver) Stop() {
+	d.once.Do(func() {
+		close(d.done)
+		d.wg.Wait()
+		_ = d.c.Unregister(d.app)
+	})
+}
+
+// apply pushes a target to the application and the stats.
+func (d *Driver) apply(target int) {
+	d.t.SetTarget(target)
+	d.mu.Lock()
+	d.stats.Target = target
+	d.mu.Unlock()
+	if d.targetGauge != nil {
+		d.targetGauge.Set(int64(target))
+	}
+}
+
+// setDegraded flips the degraded flag (and gauge); entering degraded
+// mode records when the daemon was lost.
+func (d *Driver) setDegraded(on bool, now time.Time) {
+	d.mu.Lock()
+	d.stats.Degraded = on
+	if on {
+		d.lostAt = now
+	} else {
+		d.lostAt = time.Time{}
+	}
+	d.mu.Unlock()
+	if d.degraded != nil {
+		v := int64(0)
+		if on {
+			v = 1
+		}
+		d.degraded.Set(v)
+	}
+}
+
+// loop is the poll/reconnect state machine. It ticks at a fraction of
+// the poll interval so reconnection attempts are not gated on the
+// (possibly long) poll period.
+func (d *Driver) loop() {
+	defer d.wg.Done()
+	step := d.opts.Interval / 10
+	if step < 25*time.Millisecond {
+		step = 25 * time.Millisecond
+	}
+	if step > time.Second {
+		step = time.Second
+	}
+	ticker := time.NewTicker(step)
+	defer ticker.Stop()
+
+	connected := true
+	backoff := d.opts.BackoffMin
+	now := time.Now()
+	nextPoll := now.Add(d.opts.Interval)
+	var lostAt, nextRedial, nextDecay time.Time
+
+	for {
+		select {
+		case <-d.done:
+			return
+		case now = <-ticker.C:
+		}
+
+		if connected {
+			if now.Before(nextPoll) {
+				continue
+			}
+			target, err := d.c.Poll(d.app)
+			if err == nil {
+				d.count(func(s *DriveStats) { s.Polls++ }, d.polls)
+				d.apply(target)
+				nextPoll = now.Add(d.opts.Interval)
+				continue
+			}
+			// Daemon lost: hold the last target through the grace
+			// period, start the reconnect backoff immediately.
+			d.count(func(s *DriveStats) { s.PollErrors++ }, d.pollErrors)
+			connected = false
+			lostAt = now
+			backoff = d.opts.BackoffMin
+			nextRedial = now
+			nextDecay = now.Add(d.opts.Grace)
+			d.setDegraded(true, now)
+		}
+
+		if !now.Before(nextRedial) {
+			d.count(func(s *DriveStats) { s.Redials++ }, d.redials)
+			if err := d.c.Redial(); err == nil {
+				// Transparent re-register: a restarted daemon has an
+				// empty member table; a surviving daemon just replaces
+				// the member. Either way the fresh target applies.
+				if target, err := d.c.Register(d.app, d.procs); err == nil {
+					d.count(func(s *DriveStats) { s.Reconnects++ }, d.reconnects)
+					d.setDegraded(false, now)
+					d.apply(target)
+					connected = true
+					nextPoll = now.Add(d.opts.Interval)
+					continue
 				}
 			}
+			backoff *= 2
+			if backoff > d.opts.BackoffMax {
+				backoff = d.opts.BackoffMax
+			}
+			nextRedial = now.Add(jitter(backoff))
 		}
-	}()
-	var once sync.Once
-	return func() {
-		once.Do(func() {
-			close(done)
-			wg.Wait()
-			_ = c.Unregister(app)
-		})
-	}, nil
+
+		// Degraded decay: past the grace period, halve the gap to the
+		// full process count once per poll interval. With no arbiter
+		// alive, fairness has no counterparty; idling forever on a
+		// stale small target would waste the machine.
+		if now.Sub(lostAt) >= d.opts.Grace && !now.Before(nextDecay) {
+			d.mu.Lock()
+			cur := d.stats.Target
+			d.mu.Unlock()
+			if cur < d.procs {
+				d.apply(cur + (d.procs-cur+1)/2)
+			}
+			nextDecay = now.Add(d.opts.Interval)
+		}
+	}
+}
+
+// count bumps a stats field and its optional metric together.
+func (d *Driver) count(bump func(*DriveStats), c *metrics.Counter) {
+	d.mu.Lock()
+	bump(&d.stats)
+	d.mu.Unlock()
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// jitter spreads a backoff uniformly over [d/2, d) so reconnecting
+// clients do not stampede a restarted daemon in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)/2))
 }

@@ -22,7 +22,11 @@ import "procctl/internal/metrics"
 //
 // Registrations are owned by their connection: when the connection
 // drops, its applications are unregistered and their processors are
-// redistributed, so a crashed application cannot pin capacity.
+// redistributed, so a crashed application cannot pin capacity. Clients
+// that die without dropping the connection (SIGSTOP, half-open TCP) are
+// caught by the lease: a connection silent for longer than the server's
+// lease (default 18 s, three missed polls) is closed by the sweep and
+// cleaned up the same way.
 
 // Request is one client message.
 type Request struct {
@@ -44,8 +48,11 @@ type Response struct {
 
 // Status is the coordinator state snapshot served to inspectors.
 type Status struct {
-	Capacity     int         `json:"capacity"`
-	ExternalLoad int         `json:"external_load"`
+	Capacity     int `json:"capacity"`
+	ExternalLoad int `json:"external_load"`
+	// LeaseSeconds is the server's configured lease (0 when expiry is
+	// disabled).
+	LeaseSeconds float64     `json:"lease_seconds,omitempty"`
 	Apps         []AppStatus `json:"apps"`
 }
 
@@ -55,6 +62,10 @@ type AppStatus struct {
 	Procs  int    `json:"procs"`
 	Weight int    `json:"weight"`
 	Target int    `json:"target"`
+	// LeaseRemaining is how many seconds of lease this member has left
+	// before it is presumed dead; -1 for members without a lease
+	// (in-process members, or lease expiry disabled).
+	LeaseRemaining float64 `json:"lease_remaining_s"`
 }
 
 // Protocol op names.

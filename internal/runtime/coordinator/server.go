@@ -8,9 +8,56 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"procctl/internal/metrics"
 )
+
+// DefaultLease is how long a connection may stay silent before the
+// daemon presumes its applications dead and reclaims their processors:
+// three missed polls at the paper's 6-second poll interval. EOF-based
+// cleanup handles clients that die cleanly; the lease handles the ones
+// that don't — a SIGSTOPped process, a half-open TCP connection after a
+// peer panic, a hung poll loop.
+const DefaultLease = 3 * DefaultPollInterval
+
+// DefaultIOTimeout bounds a single read or write on a connection whose
+// peer has stopped draining its socket.
+const DefaultIOTimeout = 10 * time.Second
+
+// ServerConfig tunes the socket server's failure detection. The zero
+// value selects the defaults; a negative Lease disables lease expiry
+// (EOF cleanup still applies).
+type ServerConfig struct {
+	// Lease is the maximum silence per connection. Any decoded request
+	// renews it for every application registered on that connection.
+	Lease time.Duration
+	// SweepInterval is how often expired leases are collected
+	// (default: Lease/6, at least 100 ms).
+	SweepInterval time.Duration
+	// IOTimeout bounds each response write (and each read once a
+	// request's first byte is due under the lease deadline).
+	IOTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Lease == 0 {
+		c.Lease = DefaultLease
+	}
+	if c.Lease < 0 {
+		c.Lease = 0 // expiry disabled
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.Lease / 6
+		if c.SweepInterval < 100*time.Millisecond {
+			c.SweepInterval = 100 * time.Millisecond
+		}
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = DefaultIOTimeout
+	}
+	return c
+}
 
 // remoteMember represents an application registered over a socket. Its
 // target is stored for the application's next poll, mirroring the
@@ -25,42 +72,150 @@ func (r *remoteMember) Name() string    { return r.name }
 func (r *remoteMember) Workers() int    { return r.procs }
 func (r *remoteMember) SetTarget(n int) { r.target.Store(int64(n)) }
 
+// connState is the server's bookkeeping for one client connection: the
+// members it registered and when it last said anything.
+type connState struct {
+	conn  net.Conn
+	owned map[string]*remoteMember // touched only by the handler goroutine
+
+	mu       sync.Mutex
+	lastSeen time.Time
+}
+
+func (cs *connState) touch() {
+	cs.mu.Lock()
+	cs.lastSeen = time.Now()
+	cs.mu.Unlock()
+}
+
+func (cs *connState) seen() time.Time {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.lastSeen
+}
+
 // Server accepts socket connections and bridges them to a Coordinator.
 type Server struct {
 	coord *Coordinator
 	ln    net.Listener
+	cfg   ServerConfig
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
+	owners map[string]*connState // app name -> owning connection
 	closed bool
+
+	expiries *metrics.Counter
 }
 
-// NewServer wraps a coordinator and a listener. Call Serve to start
-// accepting.
+// NewServer wraps a coordinator and a listener with the default failure
+// detection (18 s leases). Call Serve to start accepting.
 func NewServer(coord *Coordinator, ln net.Listener) *Server {
-	return &Server{coord: coord, ln: ln, conns: make(map[net.Conn]struct{})}
+	return NewServerWith(coord, ln, ServerConfig{})
+}
+
+// NewServerWith is NewServer with explicit lease and timeout settings.
+func NewServerWith(coord *Coordinator, ln net.Listener, cfg ServerConfig) *Server {
+	s := &Server{
+		coord:    coord,
+		ln:       ln,
+		cfg:      cfg.withDefaults(),
+		conns:    make(map[net.Conn]*connState),
+		owners:   make(map[string]*connState),
+		expiries: coord.Metrics().Counter("coordinator_lease_expiries_total", "members unregistered because their connection went silent past its lease"),
+	}
+	s.coord.Metrics().OnCollect(s.collectLeases)
+	return s
+}
+
+// collectLeases refreshes the per-member remaining-lease gauges.
+func (s *Server) collectLeases() {
+	if s.cfg.Lease <= 0 {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, cs := range s.owners {
+		rem := s.cfg.Lease - now.Sub(cs.seen())
+		if rem < 0 {
+			rem = 0
+		}
+		s.coord.Metrics().Gauge(metrics.Name("coordinator_member_lease_seconds", "app", name),
+			"seconds of lease remaining before this member is presumed dead").Set(int64(rem / time.Second))
+	}
 }
 
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Serve accepts connections until Close. It always returns a non-nil
-// error; after Close the error is net.ErrClosed.
+// Serve accepts connections until Close, running the lease sweep in the
+// background. It always returns a non-nil error; after Close the error
+// is net.ErrClosed.
 func (s *Server) Serve() error {
+	if s.cfg.Lease > 0 {
+		done := make(chan struct{})
+		defer close(done)
+		go s.sweepLoop(done)
+	}
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return err
 		}
+		cs := &connState{conn: conn, owned: make(map[string]*remoteMember), lastSeen: time.Now()}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return net.ErrClosed
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = cs
 		s.mu.Unlock()
-		go s.handle(conn)
+		go s.handle(cs)
+	}
+}
+
+// sweepLoop periodically closes connections whose lease lapsed. Closing
+// is the whole intervention: the handler's read fails immediately and
+// its deferred cleanup — the same path as a clean disconnect —
+// unregisters the members and rebalances the survivors.
+func (s *Server) sweepLoop(done chan struct{}) {
+	ticker := time.NewTicker(s.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			s.sweep(time.Now())
+		}
+	}
+}
+
+// sweep closes every connection silent since before now-Lease and
+// counts the member leases that expired with it.
+func (s *Server) sweep(now time.Time) {
+	deadline := now.Add(-s.cfg.Lease)
+	var victims []*connState
+	s.mu.Lock()
+	for _, cs := range s.conns {
+		if cs.seen().Before(deadline) {
+			victims = append(victims, cs)
+		}
+	}
+	s.mu.Unlock()
+	for _, cs := range victims {
+		expired := 0
+		s.mu.Lock()
+		for _, owner := range s.owners {
+			if owner == cs {
+				expired++
+			}
+		}
+		s.mu.Unlock()
+		s.expiries.Add(int64(expired))
+		cs.conn.Close()
 	}
 }
 
@@ -81,48 +236,65 @@ func (s *Server) Close() error {
 	return err
 }
 
-// handle serves one connection until it drops, then unregisters the
-// applications it registered.
-func (s *Server) handle(conn net.Conn) {
+// handle serves one connection until it drops (EOF, error, or lease
+// sweep), then unregisters the applications it registered.
+func (s *Server) handle(cs *connState) {
+	conn := cs.conn
 	defer func() {
 		conn.Close()
+		var mine []string
 		s.mu.Lock()
 		delete(s.conns, conn)
+		for name := range cs.owned {
+			// Only tear down names this connection still owns: a
+			// restarted client may have re-registered one of them from
+			// a fresh connection while this one was dying.
+			if s.owners[name] == cs {
+				delete(s.owners, name)
+				mine = append(mine, name)
+			}
+		}
 		s.mu.Unlock()
-	}()
-
-	owned := make(map[string]*remoteMember)
-	defer func() {
-		for name := range owned {
+		for _, name := range mine {
 			s.coord.Unregister(name)
+			s.coord.Metrics().Remove(metrics.Name("coordinator_member_lease_seconds", "app", name))
 		}
 	}()
 
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
+		// A healthy client speaks at least once per lease; allow one
+		// sweep interval of slack so the sweep, not the deadline, is
+		// the normal expiry path (its accounting is better).
+		if s.cfg.Lease > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.Lease + 2*s.cfg.SweepInterval))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken peer: drop the connection
+			return // EOF, timeout, or broken peer: drop the connection
 		}
-		resp := s.dispatch(&req, owned)
+		cs.touch() // any op renews the connection's leases
+		resp := s.dispatch(&req, cs)
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(req *Request, owned map[string]*remoteMember) Response {
+func (s *Server) dispatch(req *Request, cs *connState) Response {
 	reg := s.coord.Metrics()
 	reg.Counter(metrics.Name("coordinator_rpcs_total", "op", req.Op), "socket requests served").Inc()
-	resp := s.dispatchOp(req, owned)
+	resp := s.dispatchOp(req, cs)
 	if !resp.OK {
 		reg.Counter(metrics.Name("coordinator_rpc_errors_total", "op", req.Op), "socket requests rejected").Inc()
 	}
 	return resp
 }
 
-func (s *Server) dispatchOp(req *Request, owned map[string]*remoteMember) Response {
+func (s *Server) dispatchOp(req *Request, cs *connState) Response {
+	owned := cs.owned
 	switch req.Op {
 	case OpRegister:
 		if req.App == "" || req.Procs < 1 {
@@ -131,6 +303,12 @@ func (s *Server) dispatchOp(req *Request, owned map[string]*remoteMember) Respon
 		m := &remoteMember{name: req.App, procs: req.Procs}
 		s.coord.RegisterWeighted(m, req.Weight)
 		owned[req.App] = m
+		s.mu.Lock()
+		// Taking ownership also handles a restarted client racing its
+		// dying predecessor: the old connection's cleanup skips names
+		// it no longer owns.
+		s.owners[req.App] = cs
+		s.mu.Unlock()
 		return Response{OK: true, Target: int(m.target.Load())}
 
 	case OpPoll:
@@ -141,13 +319,15 @@ func (s *Server) dispatchOp(req *Request, owned map[string]*remoteMember) Respon
 		return Response{OK: true, Target: int(m.target.Load())}
 
 	case OpUnregister:
-		m, ok := owned[req.App]
-		if !ok {
+		if _, ok := owned[req.App]; !ok {
 			return errResp(fmt.Errorf("app %q not registered on this connection", req.App))
 		}
-		_ = m
 		delete(owned, req.App)
+		s.mu.Lock()
+		delete(s.owners, req.App)
+		s.mu.Unlock()
 		s.coord.Unregister(req.App)
+		s.coord.Metrics().Remove(metrics.Name("coordinator_member_lease_seconds", "app", req.App))
 		return Response{OK: true}
 
 	case OpSetLoad:
@@ -170,15 +350,32 @@ func (s *Server) status() *Status {
 	st := &Status{
 		Capacity:     s.coord.Capacity(),
 		ExternalLoad: s.coord.ExternalLoad(),
+		LeaseSeconds: s.cfg.Lease.Seconds(),
 	}
+	now := time.Now()
+	s.mu.Lock()
+	remaining := make(map[string]float64, len(s.owners))
+	for name, cs := range s.owners {
+		rem := (s.cfg.Lease - now.Sub(cs.seen())).Seconds()
+		if rem < 0 {
+			rem = 0
+		}
+		remaining[name] = rem
+	}
+	s.mu.Unlock()
 	s.coord.mu.Lock()
 	for _, m := range s.coord.members {
-		st.Apps = append(st.Apps, AppStatus{
-			Name:   m.Name(),
-			Procs:  m.Workers(),
-			Weight: s.coord.weights[m.Name()],
-			Target: targets[m.Name()],
-		})
+		app := AppStatus{
+			Name:           m.Name(),
+			Procs:          m.Workers(),
+			Weight:         s.coord.weights[m.Name()],
+			Target:         targets[m.Name()],
+			LeaseRemaining: -1, // in-process members have no lease
+		}
+		if rem, ok := remaining[m.Name()]; ok && s.cfg.Lease > 0 {
+			app.LeaseRemaining = rem
+		}
+		st.Apps = append(st.Apps, app)
 	}
 	s.coord.mu.Unlock()
 	return st

@@ -2,8 +2,10 @@ package pool
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestGroupAllTasksRun(t *testing.T) {
@@ -54,6 +56,69 @@ func TestGroupOnClosedPool(t *testing.T) {
 	if err := g.Wait(); err != nil {
 		t.Errorf("Wait after failed Go = %v (must not deadlock)", err)
 	}
+}
+
+// TestGroupConcurrentGoAndClose hammers Go from many goroutines while
+// the pool closes underneath them (run under -race in `make check`).
+// Every submission must either run or be refused with ErrClosed —
+// nothing lost, nothing double-counted, Wait never deadlocks.
+func TestGroupConcurrentGoAndClose(t *testing.T) {
+	p := New(Config{Workers: 4})
+	g := NewGroup(p)
+	var accepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				err := g.Go(func() error { ran.Add(1); return nil })
+				switch err {
+				case nil:
+					accepted.Add(1)
+				case ErrClosed:
+				default:
+					t.Errorf("Go = %v, want nil or ErrClosed", err)
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond) // let some submissions land first
+	p.Close()
+	wg.Wait()
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+	p.Wait()
+	if accepted.Load() != ran.Load() {
+		t.Errorf("accepted %d tasks but ran %d", accepted.Load(), ran.Load())
+	}
+}
+
+// TestGroupConcurrentWaiters checks that several goroutines can block in
+// Wait simultaneously and all observe the first error.
+func TestGroupConcurrentWaiters(t *testing.T) {
+	p := New(Config{Workers: 2})
+	defer func() { p.Close(); p.Wait() }()
+	g := NewGroup(p)
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	g.Go(func() error { <-release; return boom })
+	for i := 0; i < 20; i++ {
+		g.Go(func() error { return nil })
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Wait(); err != boom {
+				t.Errorf("Wait = %v, want boom", err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
 }
 
 func TestGroupMultipleWaits(t *testing.T) {

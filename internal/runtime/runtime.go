@@ -1,0 +1,16 @@
+// Package runtime holds the real-process side of procctl — the layers
+// that apply the paper's process control to actual Go programs on the
+// wall clock rather than to simulated processes in virtual time:
+//
+//   - pool: the adaptive worker pool (the paper's modified threads
+//     package), which suspends and resumes workers at task boundaries to
+//     track a target.
+//   - coordinator: the central server, its socket protocol, and the
+//     resilient client that polls it (the paper's 6-second loop) with
+//     automatic reconnection.
+//
+// The package itself carries no code. It exists so the chaos suite in
+// this directory — which exercises pool and coordinator together under
+// injected failures (hung clients, killed clients, daemon restarts) —
+// has a package to live in.
+package runtime
