@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet procctl-vet test race bench
+.PHONY: check build vet procctl-vet test race bench trace-smoke
 
 # The full verification gate: what CI runs, in dependency order.
-check: build vet procctl-vet test race
+check: build vet procctl-vet test race trace-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ procctl-vet:
 	$(GO) run ./cmd/procctl-vet ./...
 	$(GO) run ./cmd/procctl-vet ./internal/metrics/...
 	$(GO) run ./cmd/procctl-vet ./internal/faultinject/...
+	$(GO) run ./cmd/procctl-vet ./internal/trace/...
 
 test:
 	$(GO) test ./...
@@ -31,3 +32,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# End-to-end pipeline over the trace toolchain: record a short causal
+# trace of the Figure 4 mix, attribute its wasted cycles, and export a
+# Perfetto timeline. Artifacts land in $(TRACE_OUT); CI uploads them.
+TRACE_OUT ?= /tmp/procctl-trace-smoke
+trace-smoke:
+	mkdir -p $(TRACE_OUT)
+	$(GO) build -o $(TRACE_OUT)/procctl-trace ./cmd/procctl-trace
+	$(TRACE_OUT)/procctl-trace record -seed 1 -seconds 1 -control -out $(TRACE_OUT)/fig4.jsonl
+	$(TRACE_OUT)/procctl-trace summary -in $(TRACE_OUT)/fig4.jsonl
+	$(TRACE_OUT)/procctl-trace analyze -in $(TRACE_OUT)/fig4.jsonl
+	$(TRACE_OUT)/procctl-trace export -format chrome -in $(TRACE_OUT)/fig4.jsonl -out $(TRACE_OUT)/fig4.chrome.json

@@ -135,7 +135,9 @@ func print(st *coordinator.Status) {
 }
 
 // statusTable renders the status snapshot, including each leased
-// member's remaining lease ("-" for members without one).
+// member's remaining lease and last reported spin% ("-" for members
+// without one — older daemons and clients never report spin, so the
+// column degrades gracefully instead of showing a false 0%).
 func statusTable(st *coordinator.Status) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "capacity %d, external load %d, %d application(s)",
@@ -147,13 +149,17 @@ func statusTable(st *coordinator.Status) string {
 	if len(st.Apps) == 0 {
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-20s %6s %6s %6s %6s\n", "APP", "PROCS", "WEIGHT", "TARGET", "LEASE")
+	fmt.Fprintf(&b, "%-20s %6s %6s %6s %6s %6s\n", "APP", "PROCS", "WEIGHT", "TARGET", "SPIN%", "LEASE")
 	for _, a := range st.Apps {
+		spin := "-"
+		if a.SpinPct != nil {
+			spin = fmt.Sprintf("%.0f%%", *a.SpinPct)
+		}
 		lease := "-"
 		if a.LeaseRemaining >= 0 {
 			lease = fmt.Sprintf("%.0fs", a.LeaseRemaining)
 		}
-		fmt.Fprintf(&b, "%-20s %6d %6d %6d %6s\n", a.Name, a.Procs, a.Weight, a.Target, lease)
+		fmt.Fprintf(&b, "%-20s %6d %6d %6d %6s %6s\n", a.Name, a.Procs, a.Weight, a.Target, spin, lease)
 	}
 	return b.String()
 }

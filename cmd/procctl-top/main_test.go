@@ -59,25 +59,31 @@ func TestRetryMessageDistinguishesDaemonDeath(t *testing.T) {
 }
 
 func TestStatusTableShowsLease(t *testing.T) {
+	spin := 37.5
 	st := &coordinator.Status{
 		Capacity:     8,
 		ExternalLoad: 1,
 		LeaseSeconds: 18,
 		Apps: []coordinator.AppStatus{
-			{Name: "fft", Procs: 8, Weight: 1, Target: 4, LeaseRemaining: 12.4},
+			{Name: "fft", Procs: 8, Weight: 1, Target: 4, LeaseRemaining: 12.4, SpinPct: &spin},
 			{Name: "local", Procs: 4, Weight: 1, Target: 3, LeaseRemaining: -1},
 		},
 	}
 	got := statusTable(st)
-	for _, want := range []string{"capacity 8", "external load 1", "lease 18s", "LEASE", "12s"} {
+	for _, want := range []string{"capacity 8", "external load 1", "lease 18s", "LEASE", "12s", "SPIN%", "38%"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("status table missing %q:\n%s", want, got)
 		}
 	}
-	// The in-process member has no lease; its column shows "-".
+	// The in-process member reported no spin and has no lease; both
+	// columns show "-" instead of fake zeros.
 	for _, line := range strings.Split(got, "\n") {
-		if strings.HasPrefix(line, "local") && !strings.HasSuffix(strings.TrimRight(line, " "), "-") {
-			t.Errorf("leaseless member's row does not end in '-': %q", line)
+		if !strings.HasPrefix(line, "local") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 6 || f[4] != "-" || f[5] != "-" {
+			t.Errorf("leaseless, spin-less member row not rendered with dashes: %q", line)
 		}
 	}
 }

@@ -1,13 +1,21 @@
-// Command procctl-trace records and analyzes kernel scheduling traces
+// Command procctl-trace records and analyzes causal scheduling traces
 // from the simulator.
 //
 //	procctl-trace record [-out trace.jsonl] [-control] [-policy P] [-seconds N]
 //	    runs the Figure 4-style mix and writes a JSONL scheduling trace
 //	procctl-trace summary [-in trace.jsonl]
 //	    aggregates a trace into per-application state residency
+//	procctl-trace analyze [-in trace.jsonl]
+//	    attributes every process's time to the paper's wasted-cycle
+//	    categories (useful work, spin on preempted/running holder,
+//	    context switch, cache reload, ready-queue wait, suspension)
+//	procctl-trace export -format chrome [-in trace.jsonl] [-out out.json]
+//	    converts a trace to Chrome trace-event JSON for ui.perfetto.dev
 //
-// With no file flags, record writes to stdout and summary reads stdin,
-// so the two compose: procctl-trace record | procctl-trace summary
+// With no file flags, record writes to stdout and the readers read
+// stdin, so the stages compose:
+//
+//	procctl-trace record -control | procctl-trace analyze
 package main
 
 import (
@@ -34,14 +42,30 @@ func main() {
 		record(os.Args[2:])
 	case "summary":
 		summary(os.Args[2:])
+	case "analyze":
+		analyze(os.Args[2:])
+	case "export":
+		export(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: procctl-trace record|summary [flags]")
+	fmt.Fprintln(os.Stderr, "usage: procctl-trace record|summary|analyze|export [flags]")
 	os.Exit(2)
+}
+
+// openInput resolves the conventional -in flag: a named file, or stdin.
+func openInput(path string) io.ReadCloser {
+	if path == "" {
+		return os.Stdin
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("procctl-trace: %v", err)
+	}
+	return f
 }
 
 func record(args []string) {
@@ -74,7 +98,7 @@ func record(args []string) {
 	o.NewPolicy = factory
 
 	s := experiments.NewSim(o, *control)
-	rec := trace.NewRecorder(s.K, w)
+	rec := trace.NewRecorder(s.K, w, trace.Meta{Seed: *seed, Control: *control})
 	cfg := threads.Config{Procs: 12}
 	if s.Server != nil {
 		cfg.Controller = s.Server
@@ -85,10 +109,10 @@ func record(args []string) {
 
 	s.Eng.Run(sim.Time(sim.DurationOf(*seconds)))
 	s.K.Finalize()
-	s.K.Shutdown()
-	if err := rec.Flush(); err != nil {
+	if err := rec.Close(); err != nil {
 		log.Fatalf("procctl-trace: %v", err)
 	}
+	s.K.Shutdown()
 	fmt.Fprintf(os.Stderr, "procctl-trace: %d events over %.1fs virtual time\n", rec.Events(), *seconds)
 }
 
@@ -97,18 +121,53 @@ func summary(args []string) {
 	in := fs.String("in", "", "trace file (default stdin)")
 	fs.Parse(args)
 
-	var r io.Reader = os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatalf("procctl-trace: %v", err)
-		}
-		defer f.Close()
-		r = f
-	}
+	r := openInput(*in)
+	defer r.Close()
 	sum, err := trace.ReadSummary(r)
 	if err != nil {
 		log.Fatalf("procctl-trace: %v", err)
 	}
 	fmt.Print(sum.Render())
+}
+
+func analyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (default stdin)")
+	fs.Parse(args)
+
+	r := openInput(*in)
+	defer r.Close()
+	att, err := trace.ReadAttribution(r)
+	if err != nil {
+		log.Fatalf("procctl-trace: %v", err)
+	}
+	fmt.Print(att.Render())
+}
+
+func export(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	var (
+		in     = fs.String("in", "", "trace file (default stdin)")
+		out    = fs.String("out", "", "output file (default stdout)")
+		format = fs.String("format", "chrome", "output format (chrome)")
+	)
+	fs.Parse(args)
+	if *format != "chrome" {
+		log.Fatalf("procctl-trace: unknown export format %q (have: chrome)", *format)
+	}
+
+	r := openInput(*in)
+	defer r.Close()
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("procctl-trace: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteChrome(r, w); err != nil {
+		log.Fatalf("procctl-trace: %v", err)
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -45,21 +46,89 @@ func recordTrace(t *testing.T, args ...string) []byte {
 	return stdout.Bytes()
 }
 
-func TestRecordSummaryGolden(t *testing.T) {
-	trace := recordTrace(t, "-seed", "1", "-seconds", "2", "-control")
-
-	cmd := exec.Command(binPath, "summary")
-	cmd.Stdin = bytes.NewReader(trace)
+// pipe feeds input to a subcommand and returns its stdout.
+func pipe(t *testing.T, input []byte, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	cmd.Stdin = bytes.NewReader(input)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		t.Fatalf("summary: %v", err)
+		t.Fatalf("%v: %v\n%s", args, err, stderr.String())
 	}
-	golden, err := os.ReadFile(filepath.Join("testdata", "summary_seed1.golden"))
+	return out
+}
+
+// checkGolden compares got against testdata/<name>, regenerating the
+// file first when UPDATE_TRACE_GOLDEN is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_TRACE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(out, golden) {
-		t.Errorf("seed-1 summary drifted from testdata/summary_seed1.golden.\n--- got ---\n%s--- want ---\n%s", out, golden)
+	if !bytes.Equal(got, golden) {
+		t.Errorf("output drifted from %s.\n--- got ---\n%s--- want ---\n%s", path, got, golden)
+	}
+}
+
+func TestRecordSummaryGolden(t *testing.T) {
+	trace := recordTrace(t, "-seed", "1", "-seconds", "2", "-control")
+	checkGolden(t, "summary_seed1.golden", pipe(t, trace, "summary"))
+}
+
+func TestAnalyzeGolden(t *testing.T) {
+	trace := recordTrace(t, "-seed", "1", "-seconds", "2", "-control")
+	checkGolden(t, "analyze_seed1_ctl.golden", pipe(t, trace, "analyze"))
+}
+
+func TestAnalyzeControlComparison(t *testing.T) {
+	// The paper's headline, at the CLI level: without process control
+	// the same mix wastes strictly more time spinning on preempted lock
+	// holders. (The exact decomposition is asserted in internal/trace;
+	// here we check the rendered report keeps telling the story.)
+	without := pipe(t, recordTrace(t, "-seed", "1", "-seconds", "2"), "analyze")
+	with := pipe(t, recordTrace(t, "-seed", "1", "-seconds", "2", "-control"), "analyze")
+	if !strings.Contains(string(without), "control off") || !strings.Contains(string(with), "control on") {
+		t.Errorf("analyze reports missing control provenance:\n%s\n%s", without, with)
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	a := pipe(t, recordTrace(t, "-seed", "7", "-seconds", "1"), "analyze")
+	b := pipe(t, recordTrace(t, "-seed", "7", "-seconds", "1"), "analyze")
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed analyze runs differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestExportChrome(t *testing.T) {
+	trace := recordTrace(t, "-seed", "1", "-seconds", "1", "-control")
+	path := filepath.Join(t.TempDir(), "out.json")
+	cmd := exec.Command(binPath, "export", "-format", "chrome", "-out", path)
+	cmd.Stdin = bytes.NewReader(trace)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("export: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("export produced no trace events")
 	}
 }
 
@@ -119,8 +188,11 @@ func TestUsageErrorsExitNonZero(t *testing.T) {
 		{"unknown subcommand", []string{"replay"}, 2, "usage:"},
 		{"unknown record flag", []string{"record", "-nope"}, 2, "flag provided but not defined"},
 		{"unknown summary flag", []string{"summary", "-nope"}, 2, "flag provided but not defined"},
+		{"unknown analyze flag", []string{"analyze", "-nope"}, 2, "flag provided but not defined"},
 		{"unknown policy", []string{"record", "-policy", "psychic"}, 1, "unknown policy"},
 		{"missing input file", []string{"summary", "-in", "/no/such/trace.jsonl"}, 1, "no such file"},
+		{"missing analyze input", []string{"analyze", "-in", "/no/such/trace.jsonl"}, 1, "no such file"},
+		{"unknown export format", []string{"export", "-format", "svg"}, 1, "unknown export format"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -132,5 +204,29 @@ func TestUsageErrorsExitNonZero(t *testing.T) {
 				t.Errorf("stderr %q missing %q", stderr, tc.want)
 			}
 		})
+	}
+}
+
+// TestAnalyzeRejectsLegacyTrace: analyze depends on v2 events, so a
+// headerless v1 trace must fail loudly instead of mis-aggregating.
+func TestAnalyzeRejectsLegacyTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.jsonl")
+	v1 := `{"t":0,"kind":"spawn","pid":1,"app":1,"name":"p"}` + "\n"
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"analyze", "export"} {
+		code, stderr := run(t, sub, "-in", path)
+		if code != 1 || !strings.Contains(stderr, "header") {
+			t.Errorf("%s on v1 trace: exit %d, stderr %q", sub, code, stderr)
+		}
+	}
+	// summary keeps reading legacy traces.
+	out, err := exec.Command(binPath, "summary", "-in", path).Output()
+	if err != nil {
+		t.Errorf("summary rejected a legacy trace: %v", err)
+	}
+	if !strings.Contains(string(out), "Trace summary:") {
+		t.Errorf("summary output: %s", out)
 	}
 }

@@ -97,7 +97,7 @@ func (s *Server) Register(id kernel.AppID, procs int) {
 		s.order = append(s.order, id)
 	}
 	s.registered[id] = procs
-	s.targets[id] = procs // until the first scan, let it run everything
+	s.setTarget(id, procs) // until the first scan, let it run everything
 	s.lastSeen[id] = s.k.Engine().Now()
 	s.Scan() // the paper's server reacts to creation promptly
 }
@@ -168,7 +168,7 @@ func (s *Server) Scan() {
 			if t < 1 {
 				t = 1
 			}
-			s.targets[app] = t
+			s.setTarget(app, t)
 		}
 		return
 	}
@@ -196,8 +196,26 @@ func (s *Server) Scan() {
 	}
 	alloc := core.Allocate(avail, demands)
 	for i, app := range s.order {
-		s.targets[app] = alloc[i]
+		s.setTarget(app, alloc[i])
 	}
+}
+
+// setTarget records an application's target and, when it changed, stamps
+// a target-decision annotation into the trace stream with the scan
+// number as the causal reference.
+func (s *Server) setTarget(app kernel.AppID, t int) {
+	if old, ok := s.targets[app]; ok && old == t {
+		return
+	}
+	s.targets[app] = t
+	s.k.Annotate(kernel.Annotation{
+		Layer:  "ctrl",
+		Kind:   "target",
+		App:    app,
+		Task:   -1,
+		Target: t,
+		Cause:  s.Scans,
+	})
 }
 
 // expireLeases unregisters applications that have not polled within the

@@ -36,7 +36,7 @@ func runTraced(t *testing.T, seed uint64) []byte {
 		Kernel: kernel.Config{Quantum: 30 * sim.Millisecond},
 	}
 	s := NewSim(o, true)
-	rec := trace.NewRecorder(s.K, &buf)
+	rec := trace.NewRecorder(s.K, &buf, trace.Meta{Seed: seed, Control: true})
 	a := s.LaunchNow(1, apps.Matmul(8, 2, 20*sim.Millisecond), 4)
 	b := s.LaunchNow(2, apps.Matmul(6, 3, 15*sim.Millisecond), 4)
 	if ok := s.RunUntil(func() bool { return a.Done() && b.Done() }); !ok {
@@ -98,7 +98,7 @@ func TestSameSeedStableAcrossPolicies(t *testing.T) {
 				var buf bytes.Buffer
 				o := Options{Seed: 7, Seeds: 1, NewPolicy: factories[name]}
 				s := NewSim(o, false)
-				rec := trace.NewRecorder(s.K, &buf)
+				rec := trace.NewRecorder(s.K, &buf, trace.Meta{Seed: 7})
 				a := s.LaunchNow(1, apps.TinyGauss(), 3)
 				b := s.LaunchNow(2, apps.TinySort(), 3)
 				if ok := s.RunUntil(func() bool { return a.Done() && b.Done() }); !ok {

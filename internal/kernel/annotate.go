@@ -1,0 +1,43 @@
+package kernel
+
+import "procctl/internal/sim"
+
+// Annotation is a cross-layer trace event stamped into the kernel's
+// causal event stream by the layers above it: the threads runtime
+// (task boundaries, barrier waits, control suspensions) and the control
+// server (target decisions). The kernel does not interpret annotations;
+// it hands them to the OnAnnotation hook synchronously, at the current
+// virtual instant, so they interleave deterministically with the
+// kernel's own scheduling events.
+type Annotation struct {
+	// Layer names the emitting subsystem ("threads", "ctrl").
+	Layer string
+	// Kind is the event name (task_start, task_done, barrier_wait,
+	// suspend, resume, poll, target).
+	Kind string
+	// PID is the process involved, or 0 for application-level events
+	// (a server target decision has no single process).
+	PID PID
+	// App is the owning application.
+	App AppID
+	// Task is the task ID for task_* kinds, -1 otherwise.
+	Task int
+	// Target is the decided process target for poll/target kinds, -1
+	// otherwise.
+	Target int
+	// Cause is a causal reference — for target decisions, the server
+	// scan that computed them.
+	Cause int64
+	// Dur is a duration payload: task service time, suspension span, or
+	// the length of a barrier busy-wait.
+	Dur sim.Duration
+}
+
+// Annotate forwards a to the OnAnnotation hook, if any. Layers above
+// the kernel call it to place their events into the same trace stream
+// the scheduler writes.
+func (k *Kernel) Annotate(a Annotation) {
+	if k.OnAnnotation != nil {
+		k.OnAnnotation(a)
+	}
+}

@@ -151,11 +151,15 @@ func (k *Kernel) forceReleaseLocks(p *Process) {
 		if l.holder != p {
 			panic(fmt.Sprintf("kernel: %v force-releasing %q held by %v", p, l.name, l.holder))
 		}
-		l.HeldTime += now.Sub(l.lockedAt)
+		held := now.Sub(l.lockedAt)
+		l.HeldTime += held
 		l.ForcedReleases++
 		l.holder = nil
 		p.lockDepth--
 		k.met.forcedReleases.Inc()
+		if k.OnLockRelease != nil {
+			k.OnLockRelease(p, l, held, true)
+		}
 		if w := l.firstRunningWaiter(); w != nil {
 			k.grantLock(l, w)
 		}

@@ -68,10 +68,32 @@ type Kernel struct {
 	wg  sync.WaitGroup
 	met *kernelMetrics
 
-	// Optional hooks for tracing. Invoked synchronously.
+	// Optional hooks for tracing. Invoked synchronously, on the
+	// simulation goroutine, at the instant of the event; installers that
+	// replace a hook must chain the previous value.
 	OnSpawn       func(*Process)
 	OnExit        func(*Process)
 	OnStateChange func(p *Process, old, new ProcState)
+	// OnDispatch fires after a process is placed on a CPU (its state is
+	// already Running); wait is the ready-queue latency the dispatch just
+	// ended.
+	OnDispatch func(p *Process, cpu int, wait sim.Duration)
+	// OnLockContend fires when a running process starts a busy-wait leg
+	// on l: first marks the start of the whole contended acquisition,
+	// !first a leg resumed after preemption. holder is the process
+	// keeping it waiting (its run state at this instant is what decides
+	// whether the spin is recoverable or wasted on a preempted holder).
+	OnLockContend func(p *Process, l *SpinLock, holder *Process, first bool)
+	// OnLockAcquire fires when p takes l; spun is the busy-wait time of
+	// the final leg (zero when the lock was free or granted off-CPU).
+	OnLockAcquire func(p *Process, l *SpinLock, spun sim.Duration)
+	// OnLockRelease fires when p releases l after holding it for held;
+	// forced marks a release performed by fault recovery on a crashed
+	// holder's behalf.
+	OnLockRelease func(p *Process, l *SpinLock, held sim.Duration, forced bool)
+	// OnAnnotation receives events stamped into the kernel's causal
+	// stream by the layers above it (threads runtime, control server).
+	OnAnnotation func(Annotation)
 }
 
 // New builds a kernel over mac using the given scheduling policy.
@@ -278,7 +300,8 @@ func (k *Kernel) dispatch(cpu *cpuState) {
 		cpu.idle = false
 	}
 	k.met.dispatches.Inc()
-	k.met.runqWait.Observe(int64(now.Sub(p.readySince)))
+	wait := now.Sub(p.readySince)
+	k.met.runqWait.Observe(int64(wait))
 	if p.lastCPU >= 0 && p.lastCPU != cpu.hw.ID() {
 		k.met.migrations.Inc()
 	}
@@ -291,6 +314,9 @@ func (k *Kernel) dispatch(cpu *cpuState) {
 	p.runStart = now
 	k.setState(p, Running) // after CPU assignment, so hooks see where
 	p.Stats.Dispatches++
+	if k.OnDispatch != nil {
+		k.OnDispatch(p, cpu.hw.ID(), wait)
+	}
 
 	sw, rl := cpu.hw.Dispatch(p.footprint(), p.workingSet)
 	p.Stats.SwitchTime += sw
@@ -353,15 +379,22 @@ func (k *Kernel) runProc(p *Process) {
 				p.held = append(p.held, l)
 				p.Stats.LockAcquires++
 				p.waitingLock = nil
+				if k.OnLockAcquire != nil {
+					k.OnLockAcquire(p, l, 0)
+				}
 				k.advance(p)
 			default:
-				if p.waitingLock == nil {
+				first := p.waitingLock == nil
+				if first {
 					p.waitingLock = l
 					l.addWaiter(p)
 					l.Contended++
 					p.Stats.LockSpins++
 				}
 				p.spinStart = now
+				if k.OnLockContend != nil {
+					k.OnLockContend(p, l, l.holder, first)
+				}
 				return // spin: burn CPU until release or quantum expiry
 			}
 
@@ -370,7 +403,8 @@ func (k *Kernel) runProc(p *Process) {
 			if l.holder != p {
 				panic(fmt.Sprintf("kernel: %v releasing %q held by %v", p, l.name, l.holder))
 			}
-			l.HeldTime += now.Sub(l.lockedAt)
+			held := now.Sub(l.lockedAt)
+			l.HeldTime += held
 			p.lockDepth--
 			for i := len(p.held) - 1; i >= 0; i-- {
 				if p.held[i] == l {
@@ -379,6 +413,9 @@ func (k *Kernel) runProc(p *Process) {
 				}
 			}
 			l.holder = nil
+			if k.OnLockRelease != nil {
+				k.OnLockRelease(p, l, held, false)
+			}
 			if w := l.firstRunningWaiter(); w != nil {
 				k.grantLock(l, w)
 			}
@@ -466,9 +503,13 @@ func (k *Kernel) grantLock(l *SpinLock, w *Process) {
 	w.lockDepth++
 	w.held = append(w.held, l)
 	w.Stats.LockAcquires++
-	w.Stats.SpinTime += now.Sub(w.spinStart)
-	k.met.spinMicros.Add(int64(now.Sub(w.spinStart)))
+	spun := now.Sub(w.spinStart)
+	w.Stats.SpinTime += spun
+	k.met.spinMicros.Add(int64(spun))
 	w.waitingLock = nil
+	if k.OnLockAcquire != nil {
+		k.OnLockAcquire(w, l, spun)
+	}
 	epoch := w.epoch
 	k.eng.Schedule(now, func() {
 		if w.epoch != epoch || w.state != Running {

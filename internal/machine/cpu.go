@@ -11,8 +11,9 @@ type FootprintID int64
 // owns scheduling state; the CPU only tracks cache residency and
 // utilization accounting.
 type CPU struct {
-	id  int
-	cfg Config
+	id    int
+	cfg   Config
+	owner *Machine
 
 	// resident maps a process's footprint ID to the number of its
 	// working-set bytes currently in this cache. The sum over all
@@ -70,6 +71,14 @@ func (c *CPU) Residency(f FootprintID, ws int64) float64 {
 // updates the cache contents (f's working set becomes fully resident,
 // evicting other footprints proportionally).
 func (c *CPU) Dispatch(f FootprintID, ws int64) (switchCost, reloadCost sim.Duration) {
+	switchCost, reloadCost = c.dispatch(f, ws)
+	if c.owner != nil && c.owner.OnDispatchCost != nil && switchCost+reloadCost > 0 {
+		c.owner.OnDispatchCost(c.id, switchCost, reloadCost)
+	}
+	return switchCost, reloadCost
+}
+
+func (c *CPU) dispatch(f FootprintID, ws int64) (switchCost, reloadCost sim.Duration) {
 	if f != c.lastFootprint {
 		switchCost = c.cfg.ContextSwitch
 		c.Switches++

@@ -99,7 +99,11 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 // Register announces an application with the given process count and
 // returns its initial target.
 func (c *Client) Register(app string, procs int) (int, error) {
-	resp, err := c.roundTrip(&Request{Op: OpRegister, App: app, Procs: procs})
+	return c.register(app, procs, nil)
+}
+
+func (c *Client) register(app string, procs int, spin *float64) (int, error) {
+	resp, err := c.roundTrip(&Request{Op: OpRegister, App: app, Procs: procs, SpinPct: spin})
 	if err != nil {
 		return 0, err
 	}
@@ -108,7 +112,11 @@ func (c *Client) Register(app string, procs int) (int, error) {
 
 // Poll returns the application's current target.
 func (c *Client) Poll(app string) (int, error) {
-	resp, err := c.roundTrip(&Request{Op: OpPoll, App: app})
+	return c.poll(app, nil)
+}
+
+func (c *Client) poll(app string, spin *float64) (int, error) {
+	resp, err := c.roundTrip(&Request{Op: OpPoll, App: app, SpinPct: spin})
 	if err != nil {
 		return 0, err
 	}
@@ -155,6 +163,20 @@ func (c *Client) Metrics() (*metrics.Snapshot, error) {
 // Targeter accepts targets; *pool.Pool satisfies it.
 type Targeter interface {
 	SetTarget(n int)
+}
+
+// spinOf samples the target's spin% when it can report one (*pool.Pool
+// can); nil otherwise, so the wire field stays absent rather than lying
+// with 0%. The driver piggybacks this on every register and poll — the
+// daemon's status view then shows how much of each application's worker
+// time is waste, the runtime analogue of the simulator's wasted-cycle
+// attribution.
+func spinOf(t Targeter) *float64 {
+	if s, ok := t.(interface{ SpinPercent() float64 }); ok {
+		v := s.SpinPercent()
+		return &v
+	}
+	return nil
 }
 
 // Drive registers the application and then polls every interval,
@@ -257,7 +279,7 @@ type Driver struct {
 // after that is handled.
 func (c *Client) DriveWith(app string, procs int, t Targeter, opts DriveOptions) (*Driver, error) {
 	opts = opts.withDefaults()
-	target, err := c.Register(app, procs)
+	target, err := c.register(app, procs, spinOf(t))
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +385,7 @@ func (d *Driver) loop() {
 			if now.Before(nextPoll) {
 				continue
 			}
-			target, err := d.c.Poll(d.app)
+			target, err := d.c.poll(d.app, spinOf(d.t))
 			if err == nil {
 				d.count(func(s *DriveStats) { s.Polls++ }, d.polls)
 				d.apply(target)
@@ -387,7 +409,7 @@ func (d *Driver) loop() {
 				// Transparent re-register: a restarted daemon has an
 				// empty member table; a surviving daemon just replaces
 				// the member. Either way the fresh target applies.
-				if target, err := d.c.Register(d.app, d.procs); err == nil {
+				if target, err := d.c.register(d.app, d.procs, spinOf(d.t)); err == nil {
 					d.count(func(s *DriveStats) { s.Reconnects++ }, d.reconnects)
 					d.setDegraded(false, now)
 					d.apply(target)

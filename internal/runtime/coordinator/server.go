@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -61,16 +62,37 @@ func (c ServerConfig) withDefaults() ServerConfig {
 
 // remoteMember represents an application registered over a socket. Its
 // target is stored for the application's next poll, mirroring the
-// paper's poll-based delivery.
+// paper's poll-based delivery; its spin% is whatever the client last
+// piggybacked on a register or poll.
 type remoteMember struct {
-	name   string
-	procs  int
-	target atomic.Int64
+	name    string
+	procs   int
+	target  atomic.Int64
+	spin    atomic.Uint64 // math.Float64bits of the reported spin%
+	spinSet atomic.Bool   // false until the client first reports one
 }
 
 func (r *remoteMember) Name() string    { return r.name }
 func (r *remoteMember) Workers() int    { return r.procs }
 func (r *remoteMember) SetTarget(n int) { r.target.Store(int64(n)) }
+
+// noteSpin records a client-reported spin%; a nil report (old client,
+// target without instrumentation) leaves the last value in place.
+func (r *remoteMember) noteSpin(pct *float64) {
+	if pct == nil {
+		return
+	}
+	r.spin.Store(math.Float64bits(*pct))
+	r.spinSet.Store(true)
+}
+
+// spinPct returns the last reported spin%, if any was ever reported.
+func (r *remoteMember) spinPct() (float64, bool) {
+	if !r.spinSet.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(r.spin.Load()), true
+}
 
 // connState is the server's bookkeeping for one client connection: the
 // members it registered and when it last said anything.
@@ -301,6 +323,7 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 			return errResp(errors.New("register needs app and procs >= 1"))
 		}
 		m := &remoteMember{name: req.App, procs: req.Procs}
+		m.noteSpin(req.SpinPct)
 		s.coord.RegisterWeighted(m, req.Weight)
 		owned[req.App] = m
 		s.mu.Lock()
@@ -316,6 +339,7 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 		if !ok {
 			return errResp(fmt.Errorf("app %q not registered on this connection", req.App))
 		}
+		m.noteSpin(req.SpinPct)
 		return Response{OK: true, Target: int(m.target.Load())}
 
 	case OpUnregister:
@@ -374,6 +398,20 @@ func (s *Server) status() *Status {
 		}
 		if rem, ok := remaining[m.Name()]; ok && s.cfg.Lease > 0 {
 			app.LeaseRemaining = rem
+		}
+		switch mm := m.(type) {
+		case *remoteMember:
+			// Remote members report over the wire; stay nil until the
+			// first report so old clients render as "-" not "0%".
+			if v, ok := mm.spinPct(); ok {
+				app.SpinPct = &v
+			}
+		default:
+			// In-process members (e.g. *pool.Pool) are sampled live.
+			if sp, ok := m.(interface{ SpinPercent() float64 }); ok {
+				v := sp.SpinPercent()
+				app.SpinPct = &v
+			}
 		}
 		st.Apps = append(st.Apps, app)
 	}

@@ -62,6 +62,13 @@ type Pool struct {
 	closed    bool
 	stats     Stats
 
+	// Wall-clock worker-time accounting, all nanoseconds under mu:
+	// busy (inside a task), idle (runnable but waiting for work), and
+	// parked (suspended by process control — deliberate, not waste).
+	busyNanos int64
+	idleNanos int64
+	parkNanos int64
+
 	wg  sync.WaitGroup
 	met poolMetrics
 }
@@ -124,6 +131,12 @@ func New(cfg Config) *Pool {
 		reg.Gauge(metrics.Name("pool_runnable", "pool", p.name), "workers not parked").Set(int64(runnable))
 		reg.Gauge(metrics.Name("pool_executing", "pool", p.name), "workers inside a task").Set(int64(executing))
 		reg.Gauge(metrics.Name("pool_target", "pool", p.name), "runnable-worker target").Set(int64(target))
+		p.mu.Lock()
+		busy, idle, parked := p.busyNanos, p.idleNanos, p.parkNanos
+		p.mu.Unlock()
+		reg.Gauge(metrics.Name("pool_busy_micros", "pool", p.name), "wall-clock worker time inside tasks").Set(busy / 1000)
+		reg.Gauge(metrics.Name("pool_idle_micros", "pool", p.name), "wall-clock worker time waiting for work").Set(idle / 1000)
+		reg.Gauge(metrics.Name("pool_parked_micros", "pool", p.name), "wall-clock worker time parked by process control").Set(parked / 1000)
 	})
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -199,6 +212,23 @@ func (p *Pool) Backlog() int {
 	return len(p.queue)
 }
 
+// SpinPercent reports the share of the pool's active worker time spent
+// waiting for work rather than executing it: 100*idle/(busy+idle).
+// Time parked by process control is excluded — a parked worker is
+// deliberately yielding its processor, the opposite of wasting it. The
+// coordinator protocol forwards this as the per-app spin%% column in
+// procctl-top; it is the runtime analogue of the simulator's wasted-
+// cycle attribution. Returns 0 before any worker has done either.
+func (p *Pool) SpinPercent() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.busyNanos + p.idleNanos
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(p.idleNanos) / float64(total)
+}
+
 // Stats returns a snapshot of the counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
@@ -238,16 +268,20 @@ func (p *Pool) worker() {
 			p.runnable--
 			p.stats.Suspensions++
 			p.met.parks.Inc()
+			parked := time.Now()
 			for p.runnable >= p.target && !(p.closed && len(p.queue) == 0) {
 				p.cond.Wait()
 			}
+			p.parkNanos += time.Since(parked).Nanoseconds()
 			p.runnable++
 			p.stats.Resumes++
 			p.met.unparks.Inc()
 			continue
 		}
 		if len(p.queue) == 0 {
+			idle := time.Now()
 			p.cond.Wait()
+			p.idleNanos += time.Since(idle).Nanoseconds()
 			continue
 		}
 		t := p.queue[0]
@@ -258,9 +292,11 @@ func (p *Pool) worker() {
 
 		start := time.Now()
 		t()
-		p.met.service.Observe(time.Since(start).Microseconds())
+		busy := time.Since(start)
+		p.met.service.Observe(busy.Microseconds())
 
 		p.mu.Lock()
+		p.busyNanos += busy.Nanoseconds()
 		p.executing--
 		p.stats.Completed++
 		p.met.completed.Inc()

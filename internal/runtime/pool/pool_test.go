@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"procctl/internal/metrics"
 )
 
 func TestAllTasksRun(t *testing.T) {
@@ -261,4 +263,60 @@ func TestRunnableReporting(t *testing.T) {
 	}
 	p.Close()
 	p.Wait()
+}
+
+func TestSpinPercent(t *testing.T) {
+	p := New(Config{Name: "spin", Workers: 1})
+	if got := p.SpinPercent(); got != 0 {
+		t.Errorf("SpinPercent before any work = %v, want 0", got)
+	}
+	// Busy phase: one task occupies the worker for ~10 ms.
+	p.Submit(func() { time.Sleep(10 * time.Millisecond) })
+	// Idle phase: the worker waits on an empty queue; the idle span is
+	// committed when the next broadcast (Submit below) wakes it.
+	time.Sleep(60 * time.Millisecond)
+	p.Submit(func() {})
+	p.Close()
+	p.Wait()
+	sp := p.SpinPercent()
+	if sp <= 50 || sp > 100 {
+		t.Errorf("SpinPercent = %.1f after ~50ms idle vs ~10ms busy, want well above 50", sp)
+	}
+}
+
+func TestSpinPercentExcludesParkedTime(t *testing.T) {
+	// One of two workers parks immediately (runnable 2 > target 1) and
+	// stays parked to the end. Parked time is deliberate yielding, so it
+	// must not count as spin.
+	p := New(Config{Name: "park", Workers: 2, Target: 1})
+	time.Sleep(50 * time.Millisecond)
+	p.Submit(func() { time.Sleep(5 * time.Millisecond) })
+	p.Close()
+	p.Wait()
+	p.mu.Lock()
+	busy, idle, park := p.busyNanos, p.idleNanos, p.parkNanos
+	p.mu.Unlock()
+	if park <= 0 {
+		t.Fatalf("no parked time recorded (busy=%d idle=%d park=%d)", busy, idle, park)
+	}
+	want := 100 * float64(idle) / float64(busy+idle)
+	if got := p.SpinPercent(); got != want {
+		t.Errorf("SpinPercent = %v, want %v (parked time excluded)", got, want)
+	}
+}
+
+func TestPoolTimeGauges(t *testing.T) {
+	p := New(Config{Name: "g", Workers: 1})
+	p.Submit(func() { time.Sleep(2 * time.Millisecond) })
+	p.Close()
+	p.Wait()
+	snap := p.Metrics().Snapshot(0)
+	if m := snap.Get(metrics.Name("pool_busy_micros", "pool", "g")); m == nil || m.Value <= 0 {
+		t.Errorf("pool_busy_micros missing or zero: %+v", m)
+	}
+	for _, name := range []string{"pool_idle_micros", "pool_parked_micros"} {
+		if snap.Get(metrics.Name(name, "pool", "g")) == nil {
+			t.Errorf("%s not exported", name)
+		}
+	}
 }

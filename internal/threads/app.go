@@ -286,13 +286,17 @@ func (a *App) worker(env *kernel.Env) {
 			// busy-waiting workers.
 			a.Stats.IdleSpins++
 			a.met.idleSpins.Inc()
+			a.annotate(env, "barrier_wait", -1, -1, a.cfg.IdleSpin)
 			env.Compute(a.cfg.IdleSpin)
 			continue
 		}
 
 		serviceStart := env.Now()
+		a.annotate(env, "task_start", int(t), -1, 0)
 		a.execute(env, t)
-		a.met.service.Observe(int64(env.Now().Sub(serviceStart)))
+		service := env.Now().Sub(serviceStart)
+		a.met.service.Observe(int64(service))
+		a.annotate(env, "task_done", int(t), -1, service)
 
 		env.Acquire(a.qlock)
 		env.Compute(a.cfg.CompleteCost)
@@ -386,18 +390,22 @@ func (a *App) controlPoint(env *kernel.Env) {
 		a.target = a.cfg.Controller.Poll(a.id)
 		a.Stats.Polls++
 		a.met.polls.Inc()
+		a.annotate(env, "poll", -1, a.target, 0)
 	}
 	if a.target < a.runnable && a.runnable > 1 {
 		a.runnable--
 		a.Stats.Suspensions++
 		a.met.suspensions.Inc()
 		suspendedAt := now
+		a.annotate(env, "suspend", -1, a.target, 0)
 		env.Sleep(a.suspendQ)
 		// Woken: either resumed by a peer (already counted in runnable
 		// by the waker) or the application finished. The observed span
 		// runs to the redispatch instant, so it includes the requeue
 		// latency of the resume — the paper's suspend/resume cost.
-		a.met.suspended.Observe(int64(env.Now().Sub(suspendedAt)))
+		span := env.Now().Sub(suspendedAt)
+		a.met.suspended.Observe(int64(span))
+		a.annotate(env, "resume", -1, a.target, span)
 		return
 	}
 	for a.target > a.runnable && a.suspendQ.Len() > 0 {
@@ -406,6 +414,20 @@ func (a *App) controlPoint(env *kernel.Env) {
 		a.met.resumes.Inc()
 		env.Wake(a.suspendQ, 1)
 	}
+}
+
+// annotate stamps a threads-layer event into the kernel's trace stream.
+// It is free when no trace hook is installed.
+func (a *App) annotate(env *kernel.Env, kind string, task, target int, d sim.Duration) {
+	a.k.Annotate(kernel.Annotation{
+		Layer:  "threads",
+		Kind:   kind,
+		PID:    env.Proc().ID(),
+		App:    a.id,
+		Task:   task,
+		Target: target,
+		Dur:    d,
+	})
 }
 
 // DebugState reports internal queue state for diagnostics.

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"procctl/internal/kernel"
+	"procctl/internal/machine"
+	"procctl/internal/sim"
+)
+
+// recordContended records a tiny fully-deterministic contended run: two
+// CPUs, one lock, the waiter spinning on a running holder.
+func recordContended(t *testing.T) []byte {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	mac := machine.New(machine.Config{NumCPU: 2})
+	k := kernel.New(eng, mac, kernel.NewTimeshare(), kernel.Config{
+		Quantum: 100 * sim.Millisecond, QuantumJitter: -1,
+	})
+	var buf bytes.Buffer
+	rec := NewRecorder(k, &buf, Meta{Seed: 1})
+	l := kernel.NewSpinLock("l")
+	k.Spawn("holder", 1, 0, func(env *kernel.Env) {
+		env.Acquire(l)
+		env.Compute(30 * sim.Millisecond)
+		env.Release(l)
+	})
+	k.Spawn("waiter", 2, 0, func(env *kernel.Env) {
+		env.Compute(sim.Millisecond)
+		env.Acquire(l)
+		env.Compute(5 * sim.Millisecond)
+		env.Release(l)
+	})
+	eng.RunUntilIdle()
+	k.Finalize()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	return buf.Bytes()
+}
+
+// TestChromeExportGolden pins the exported timeline for the contended
+// micro-run byte-for-byte. Regenerate with:
+//
+//	go test ./internal/trace -run TestChromeExportGolden -update-chrome-golden
+func TestChromeExportGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := WriteChrome(bytes.NewReader(recordContended(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_small.golden")
+	if os.Getenv("UPDATE_CHROME_GOLDEN") != "" {
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Errorf("chrome export drifted from %s.\n--- got ---\n%s--- want ---\n%s", path, out.Bytes(), golden)
+	}
+}
+
+func TestChromeExportDeterministic(t *testing.T) {
+	trace := recordContended(t)
+	var a, b bytes.Buffer
+	if err := WriteChrome(bytes.NewReader(trace), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(bytes.NewReader(trace), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("exporting the same trace twice produced different JSON")
+	}
+}
+
+func TestChromeRequiresHeader(t *testing.T) {
+	in := `{"t":0,"kind":"spawn","pid":1,"app":1,"name":"p"}` + "\n"
+	var out bytes.Buffer
+	if err := WriteChrome(strings.NewReader(in), &out); err == nil {
+		t.Error("headerless trace accepted")
+	}
+}
+
+// TestChromeExportSchema validates the full Figure 4-style export (with
+// control, so suspensions and target decisions appear) against the
+// trace-event format's structural rules.
+func TestChromeExportSchema(t *testing.T) {
+	_, _, trace := runMix(t, 1, true)
+	var out bytes.Buffer
+	if err := WriteChrome(bytes.NewReader(trace), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	counts := map[string]int{}
+	flowStarts := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		counts[ph]++
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event %d: missing numeric ts: %v", i, ev)
+		}
+		for _, key := range []string{"pid", "tid"} {
+			if _, ok := ev[key].(float64); !ok {
+				t.Fatalf("event %d: missing %s: %v", i, key, ev)
+			}
+		}
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("complete slice without dur: %v", ev)
+			}
+			if name, _ := ev["name"].(string); name == "" {
+				t.Fatalf("unnamed slice: %v", ev)
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s != "t" && s != "g" && s != "p" {
+				t.Fatalf("instant with bad scope %v", ev)
+			}
+		case "s":
+			id, _ := ev["id"].(string)
+			if id == "" {
+				t.Fatalf("flow start without id: %v", ev)
+			}
+			flowStarts[id] = true
+		case "f":
+			id, _ := ev["id"].(string)
+			if !flowStarts[id] {
+				t.Fatalf("flow finish %q without matching start", id)
+			}
+			if bp, _ := ev["bp"].(string); bp != "e" {
+				t.Fatalf("flow finish without bp=e: %v", ev)
+			}
+		case "M":
+			name, _ := ev["name"].(string)
+			if name != "process_name" && name != "thread_name" {
+				t.Fatalf("unknown metadata %v", ev)
+			}
+		default:
+			t.Fatalf("unknown phase %q: %v", ph, ev)
+		}
+	}
+	for _, ph := range []string{"X", "i", "s", "f", "M"} {
+		if counts[ph] == 0 {
+			t.Errorf("no %q events in the controlled-mix export (have %v)", ph, counts)
+		}
+	}
+	// 16 CPU tracks + the process name.
+	if counts["M"] != 17 {
+		t.Errorf("metadata events = %d, want 17", counts["M"])
+	}
+	if counts["s"] != counts["f"] {
+		t.Errorf("flow starts %d != finishes %d", counts["s"], counts["f"])
+	}
+}

@@ -11,35 +11,114 @@ import (
 	"procctl/internal/sim"
 )
 
-// Event is one scheduling event in a recorded trace, serialized as one
-// JSON object per line. Kinds: "spawn", "state" (From→To transition),
-// "exit".
+// FormatVersion is the trace file format emitted by Recorder. Version 2
+// added the header line, lock/overhead/annotation events, and the
+// pointer encoding of CPU (v1 could not distinguish CPU 0 from "no
+// CPU"). Readers accept headerless v1 traces where the analysis permits
+// it (ReadSummary) and reject them where it does not (analyze, export).
+const FormatVersion = 2
+
+// Header is the first line of a v2 trace: enough provenance to detect a
+// stale or mismatched trace before aggregating it.
+type Header struct {
+	Kind    string `json:"kind"` // always "header"
+	Version int    `json:"version"`
+	Seed    uint64 `json:"seed"`
+	Policy  string `json:"policy"`
+	CPUs    int    `json:"cpus"`
+	Control bool   `json:"control"`
+}
+
+// Meta carries the header fields the kernel cannot supply itself.
+type Meta struct {
+	Seed    uint64
+	Control bool
+}
+
+// Event is one event in a recorded trace, serialized as one JSON object
+// per line. Kinds and their payloads:
+//
+//	spawn        PID, App, Name
+//	state        PID, App, From, To; CPU when To is "running"
+//	exit         PID, App, Name
+//	dispatch     PID, App, CPU; Wait is the ready-queue latency just ended
+//	overhead     PID, App, CPU; SW and RL are the context-switch and
+//	             cache-reload penalties charged by this dispatch
+//	contend      PID, App, CPU, Lock; Holder and HolderState identify the
+//	             process keeping the waiter spinning and its run state at
+//	             this instant; First marks the start of the whole
+//	             contended acquisition (as opposed to a busy-wait leg
+//	             resumed after preemption)
+//	acquire      PID, App, Lock; Dur is the final busy-wait leg's length
+//	release      PID, App, Lock; Dur is the hold time; Forced marks a
+//	             release performed by fault recovery on a dead holder's
+//	             behalf
+//	task_start   threads layer: PID, App, Task
+//	task_done    threads layer: PID, App, Task, Dur (service time)
+//	barrier_wait threads layer: PID, App, Dur (idle busy-wait length)
+//	suspend      threads layer: PID, App, Target
+//	resume       threads layer: PID, App, Target, Dur (suspension span)
+//	poll         threads layer: PID, App, Target (the polled answer)
+//	target       ctrl layer: App, Target, Cause (the deciding server scan)
+//	end          T only: the recording horizon, written by Close
+//
+// Every event carries its virtual-time instant T; CPU is present when
+// the subject process is on a processor at that instant.
 type Event struct {
 	T    sim.Time     `json:"t"`
 	Kind string       `json:"kind"`
-	PID  kernel.PID   `json:"pid"`
-	App  kernel.AppID `json:"app"`
+	PID  kernel.PID   `json:"pid,omitempty"`
+	App  kernel.AppID `json:"app,omitempty"`
 	Name string       `json:"name,omitempty"`
 	From string       `json:"from,omitempty"`
 	To   string       `json:"to,omitempty"`
-	CPU  int          `json:"cpu,omitempty"`
+	CPU  *int         `json:"cpu,omitempty"`
+
+	Lock        string       `json:"lock,omitempty"`
+	Holder      kernel.PID   `json:"holder,omitempty"`
+	HolderState string       `json:"holder_state,omitempty"`
+	First       bool         `json:"first,omitempty"`
+	Forced      bool         `json:"forced,omitempty"`
+	Dur         sim.Duration `json:"dur,omitempty"`
+	Wait        sim.Duration `json:"wait,omitempty"`
+	SW          sim.Duration `json:"sw,omitempty"`
+	RL          sim.Duration `json:"rl,omitempty"`
+
+	Layer  string `json:"layer,omitempty"`
+	Task   *int   `json:"task,omitempty"`
+	Target *int   `json:"target,omitempty"`
+	Cause  int64  `json:"cause,omitempty"`
 }
 
-// Recorder streams kernel scheduling events as JSON lines — the
-// simulator's equivalent of a kernel scheduling tracepoint log. Analyze
-// the output with ReadSummary (or cmd/procctl-trace).
+func intp(i int) *int { return &i }
+
+// Recorder streams cross-layer scheduling events as JSON lines — the
+// simulator's equivalent of a kernel tracepoint log with user-level
+// annotations folded in. Analyze the output with ReadSummary,
+// ReadAttribution, or WriteChrome (or cmd/procctl-trace).
 type Recorder struct {
+	k      *kernel.Kernel
 	w      *bufio.Writer
 	enc    *json.Encoder
 	err    error
 	events int64
+	closed bool
 }
 
-// NewRecorder installs a recorder on k writing to w. It chains any
-// hooks already installed.
-func NewRecorder(k *kernel.Kernel, w io.Writer) *Recorder {
+// NewRecorder installs a recorder on k writing to w, starting with a
+// version-2 header line built from k and meta. It chains any hooks
+// already installed on the kernel or its machine.
+func NewRecorder(k *kernel.Kernel, w io.Writer, meta Meta) *Recorder {
 	bw := bufio.NewWriter(w)
-	r := &Recorder{w: bw, enc: json.NewEncoder(bw)}
+	r := &Recorder{k: k, w: bw, enc: json.NewEncoder(bw)}
+	r.err = r.enc.Encode(Header{
+		Kind:    "header",
+		Version: FormatVersion,
+		Seed:    meta.Seed,
+		Policy:  k.Policy().Name(),
+		CPUs:    k.NumCPU(),
+		Control: meta.Control,
+	})
 
 	prevSpawn := k.OnSpawn
 	k.OnSpawn = func(p *kernel.Process) {
@@ -56,7 +135,7 @@ func NewRecorder(k *kernel.Kernel, w io.Writer) *Recorder {
 		ev := Event{T: k.Now(), Kind: "state", PID: p.ID(), App: p.App(),
 			From: old.String(), To: next.String()}
 		if next == kernel.Running {
-			ev.CPU = p.LastCPU()
+			ev.CPU = intp(p.LastCPU())
 		}
 		r.emit(ev)
 	}
@@ -67,26 +146,168 @@ func NewRecorder(k *kernel.Kernel, w io.Writer) *Recorder {
 		}
 		r.emit(Event{T: k.Now(), Kind: "exit", PID: p.ID(), App: p.App(), Name: p.Name()})
 	}
+	prevDispatch := k.OnDispatch
+	k.OnDispatch = func(p *kernel.Process, cpu int, wait sim.Duration) {
+		if prevDispatch != nil {
+			prevDispatch(p, cpu, wait)
+		}
+		r.emit(Event{T: k.Now(), Kind: "dispatch", PID: p.ID(), App: p.App(),
+			CPU: intp(cpu), Wait: wait})
+	}
+	prevContend := k.OnLockContend
+	k.OnLockContend = func(p *kernel.Process, l *kernel.SpinLock, holder *kernel.Process, first bool) {
+		if prevContend != nil {
+			prevContend(p, l, holder, first)
+		}
+		ev := Event{T: k.Now(), Kind: "contend", PID: p.ID(), App: p.App(),
+			Lock: l.Name(), First: first}
+		if p.State() == kernel.Running {
+			ev.CPU = intp(p.LastCPU())
+		}
+		if holder != nil {
+			ev.Holder = holder.ID()
+			ev.HolderState = holder.State().String()
+		}
+		r.emit(ev)
+	}
+	prevAcquire := k.OnLockAcquire
+	k.OnLockAcquire = func(p *kernel.Process, l *kernel.SpinLock, spun sim.Duration) {
+		if prevAcquire != nil {
+			prevAcquire(p, l, spun)
+		}
+		ev := Event{T: k.Now(), Kind: "acquire", PID: p.ID(), App: p.App(),
+			Lock: l.Name(), Dur: spun}
+		if p.State() == kernel.Running {
+			ev.CPU = intp(p.LastCPU())
+		}
+		r.emit(ev)
+	}
+	prevRelease := k.OnLockRelease
+	k.OnLockRelease = func(p *kernel.Process, l *kernel.SpinLock, held sim.Duration, forced bool) {
+		if prevRelease != nil {
+			prevRelease(p, l, held, forced)
+		}
+		ev := Event{T: k.Now(), Kind: "release", PID: p.ID(), App: p.App(),
+			Lock: l.Name(), Dur: held, Forced: forced}
+		if p.State() == kernel.Running {
+			ev.CPU = intp(p.LastCPU())
+		}
+		r.emit(ev)
+	}
+	prevAnn := k.OnAnnotation
+	k.OnAnnotation = func(a kernel.Annotation) {
+		if prevAnn != nil {
+			prevAnn(a)
+		}
+		ev := Event{T: k.Now(), Kind: a.Kind, Layer: a.Layer, PID: a.PID,
+			App: a.App, Cause: a.Cause, Dur: a.Dur}
+		if a.Task >= 0 {
+			ev.Task = intp(a.Task)
+		}
+		if a.Target >= 0 {
+			ev.Target = intp(a.Target)
+		}
+		if a.PID != 0 {
+			if p := k.Lookup(a.PID); p != nil && p.State() == kernel.Running {
+				ev.CPU = intp(p.LastCPU())
+			}
+		}
+		r.emit(ev)
+	}
+	mac := k.Machine()
+	prevCost := mac.OnDispatchCost
+	mac.OnDispatchCost = func(cpu int, sw, rl sim.Duration) {
+		if prevCost != nil {
+			prevCost(cpu, sw, rl)
+		}
+		ev := Event{T: k.Now(), Kind: "overhead", CPU: intp(cpu), SW: sw, RL: rl}
+		// The dispatch that charged the cost has already placed its
+		// process on the CPU, so the subject is whoever runs there now.
+		if p := k.RunningOn(cpu); p != nil {
+			ev.PID = p.ID()
+			ev.App = p.App()
+		}
+		r.emit(ev)
+	}
 	return r
 }
 
 func (r *Recorder) emit(ev Event) {
-	if r.err != nil {
+	if r.err != nil || r.closed {
 		return
 	}
 	r.events++
 	r.err = r.enc.Encode(ev)
 }
 
-// Events returns how many events were recorded.
+// Events returns how many events were recorded (excluding the header).
 func (r *Recorder) Events() int64 { return r.events }
 
-// Flush drains buffered output; call it when the simulation ends.
+// Close marks the recording horizon with an "end" event and drains
+// buffered output. Call it when the simulation ends (after Finalize, so
+// trailing accounting events are included). Further events are dropped.
+func (r *Recorder) Close() error {
+	if !r.closed {
+		r.emit(Event{T: r.k.Now(), Kind: "end"})
+		r.closed = true
+	}
+	return r.Flush()
+}
+
+// Flush drains buffered output without ending the recording.
 func (r *Recorder) Flush() error {
 	if r.err != nil {
 		return r.err
 	}
 	return r.w.Flush()
+}
+
+// readTrace decodes a JSONL trace, validating the header if present: a
+// header on any line but the first, or a version mismatch, is an error.
+// If requireHeader is set, a legacy headerless (v1) trace is also an
+// error — analyses that depend on v2 events use it to fail loudly
+// instead of mis-aggregating. Every non-header event is passed to fn.
+func readTrace(rd io.Reader, requireHeader bool, fn func(Event) error) (*Header, error) {
+	dec := json.NewDecoder(bufio.NewReader(rd))
+	var hdr *Header
+	line := 0
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
+		}
+		line++
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if ev.Kind == "header" {
+			if line != 1 {
+				return nil, fmt.Errorf("trace: header on line %d, want line 1", line)
+			}
+			var h Header
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("trace: bad header: %w", err)
+			}
+			if h.Version != FormatVersion {
+				return nil, fmt.Errorf("trace: format version %d, this build reads version %d — re-record the trace", h.Version, FormatVersion)
+			}
+			hdr = &h
+			continue
+		}
+		if line == 1 && requireHeader {
+			return nil, fmt.Errorf("trace: no header line — legacy v1 traces carry too little to analyze; re-record with this build")
+		}
+		if err := fn(ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+	}
+	if requireHeader && hdr == nil {
+		return nil, fmt.Errorf("trace: empty trace (no header line)")
+	}
+	return hdr, nil
 }
 
 // AppSummary aggregates one application's trace.
@@ -104,16 +325,17 @@ type AppSummary struct {
 
 // Summary is the analysis of a recorded trace.
 type Summary struct {
+	Header *Header // nil for a legacy v1 trace
 	Events int64
 	End    sim.Time
 	Apps   []AppSummary // sorted by AppID (AppNone first)
 }
 
 // ReadSummary parses a JSONL trace and aggregates per-application state
-// residency. Unknown lines are an error; a trace truncated mid-run is
-// fine (open intervals are dropped).
+// residency. It reads both v1 (headerless) and v2 traces; unknown event
+// kinds are an error, and a trace truncated mid-run is fine (open
+// intervals are dropped).
 func ReadSummary(rd io.Reader) (*Summary, error) {
-	dec := json.NewDecoder(bufio.NewReader(rd))
 	type pstate struct {
 		app   kernel.AppID
 		state string
@@ -130,13 +352,7 @@ func ReadSummary(rd io.Reader) (*Summary, error) {
 		return s
 	}
 	sum := &Summary{}
-	for {
-		var ev Event
-		if err := dec.Decode(&ev); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", sum.Events+1, err)
-		}
+	hdr, err := readTrace(rd, false, func(ev Event) error {
 		sum.Events++
 		if ev.T > sum.End {
 			sum.End = ev.T
@@ -179,10 +395,19 @@ func ReadSummary(rd io.Reader) (*Summary, error) {
 				a.LastExit = ev.T
 			}
 			delete(procs, ev.PID)
+		case "dispatch", "overhead", "contend", "acquire", "release",
+			"task_start", "task_done", "barrier_wait",
+			"suspend", "resume", "poll", "target", "end":
+			// v2 events; residency comes from state transitions alone.
 		default:
-			return nil, fmt.Errorf("trace: unknown event kind %q", ev.Kind)
+			return fmt.Errorf("unknown event kind %q", ev.Kind)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	sum.Header = hdr
 	for _, a := range agg {
 		sum.Apps = append(sum.Apps, *a)
 	}
@@ -192,8 +417,16 @@ func ReadSummary(rd io.Reader) (*Summary, error) {
 
 // Render prints the summary as a table.
 func (s *Summary) Render() string {
-	t := NewTable(
-		fmt.Sprintf("Trace summary: %d events over %v", s.Events, s.End),
+	title := fmt.Sprintf("Trace summary: %d events over %v", s.Events, s.End)
+	if h := s.Header; h != nil {
+		ctl := "off"
+		if h.Control {
+			ctl = "on"
+		}
+		title = fmt.Sprintf("Trace summary: %d events over %v (policy %s, seed %d, %d cpus, control %s)",
+			s.Events, s.End, h.Policy, h.Seed, h.CPUs, ctl)
+	}
+	t := NewTable(title,
 		"app", "procs", "running", "ready-wait", "blocked", "dispatches", "span")
 	for _, a := range s.Apps {
 		label := fmt.Sprintf("app %d", a.App)

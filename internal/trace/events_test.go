@@ -18,7 +18,7 @@ func recordSmallRun(t *testing.T) (*bytes.Buffer, *Recorder) {
 		Quantum: 20 * sim.Millisecond, QuantumJitter: -1,
 	})
 	var buf bytes.Buffer
-	rec := NewRecorder(k, &buf)
+	rec := NewRecorder(k, &buf, Meta{Seed: 1})
 	q := kernel.NewWaitQueue("q")
 	k.Spawn("a", 1, 0, func(env *kernel.Env) {
 		env.Compute(50 * sim.Millisecond)
@@ -35,7 +35,7 @@ func recordSmallRun(t *testing.T) (*bytes.Buffer, *Recorder) {
 	})
 	eng.RunUntilIdle()
 	k.Shutdown()
-	if err := rec.Flush(); err != nil {
+	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
 	return &buf, rec
@@ -76,6 +76,43 @@ func TestRecorderAndSummary(t *testing.T) {
 	out := sum.Render()
 	if !strings.Contains(out, "system") || !strings.Contains(out, "app 1") {
 		t.Errorf("render missing rows:\n%s", out)
+	}
+}
+
+func TestRecorderWritesValidHeader(t *testing.T) {
+	buf, _ := recordSmallRun(t)
+	first := buf.Bytes()[:bytes.IndexByte(buf.Bytes(), '\n')]
+	if !bytes.Contains(first, []byte(`"kind":"header"`)) {
+		t.Fatalf("first line is not a header: %s", first)
+	}
+	sum, err := ReadSummary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sum.Header
+	if h == nil {
+		t.Fatal("summary did not surface the header")
+	}
+	if h.Version != FormatVersion || h.Seed != 1 || h.CPUs != 2 || h.Policy != "timeshare" || h.Control {
+		t.Errorf("header %+v", h)
+	}
+	if got := sum.Render(); !strings.Contains(got, "seed 1") || !strings.Contains(got, "control off") {
+		t.Errorf("render missing header provenance:\n%s", got)
+	}
+}
+
+func TestSummaryRejectsVersionMismatch(t *testing.T) {
+	in := `{"kind":"header","version":99,"seed":1,"policy":"timeshare","cpus":2,"control":false}` + "\n"
+	if _, err := ReadSummary(strings.NewReader(in)); err == nil {
+		t.Error("future format version accepted")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Errorf("unhelpful version error: %v", err)
+	}
+	// A header anywhere but line 1 is a corrupt or concatenated trace.
+	in = `{"t":1,"kind":"spawn","pid":1,"app":1,"name":"p"}` + "\n" +
+		`{"kind":"header","version":2}` + "\n"
+	if _, err := ReadSummary(strings.NewReader(in)); err == nil {
+		t.Error("mid-stream header accepted")
 	}
 }
 
@@ -131,7 +168,7 @@ func TestRecorderChainsHooks(t *testing.T) {
 	k.OnStateChange = func(*kernel.Process, kernel.ProcState, kernel.ProcState) { states++ }
 	k.OnExit = func(*kernel.Process) { exits++ }
 	var buf bytes.Buffer
-	NewRecorder(k, &buf)
+	NewRecorder(k, &buf, Meta{})
 	k.Spawn("p", 1, 0, func(env *kernel.Env) { env.Compute(sim.Millisecond) })
 	eng.RunUntilIdle()
 	k.Shutdown()
