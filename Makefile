@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet procctl-vet test race bench trace-smoke
+.PHONY: check build vet procctl-vet test race bench bench-go trace-smoke
 
 # The full verification gate: what CI runs, in dependency order.
 check: build vet procctl-vet test race trace-smoke
@@ -21,6 +21,7 @@ procctl-vet:
 	$(GO) run ./cmd/procctl-vet ./internal/metrics/...
 	$(GO) run ./cmd/procctl-vet ./internal/faultinject/...
 	$(GO) run ./cmd/procctl-vet ./internal/trace/...
+	$(GO) run ./cmd/procctl-vet ./cmd/procctl-bench/...
 
 test:
 	$(GO) test ./...
@@ -30,7 +31,21 @@ test:
 race:
 	$(GO) test -race ./internal/runtime/...
 
+# Performance-regression harness: run the engine/kernel microbenchmarks
+# and the Fig4 end-to-end benchmark, write a schema'd BENCH_<date>.json,
+# and fail on >BENCH_THRESHOLD regression against the committed
+# baseline. Regenerate the baseline on a quiet machine with:
+#   go run ./cmd/procctl-bench -out bench/BENCH_baseline.json
+BENCH_BASELINE ?= bench/BENCH_baseline.json
+BENCH_THRESHOLD ?= 0.10
+BENCH_TIME ?= 1s
 bench:
+	$(GO) run ./cmd/procctl-bench -benchtime $(BENCH_TIME) \
+		-baseline $(BENCH_BASELINE) -threshold $(BENCH_THRESHOLD)
+
+# The raw go-test benchmark suite (every figure + ablation), for ad-hoc
+# profiling runs; the regression gate above is the curated subset.
+bench-go:
 	$(GO) test -bench=. -benchmem
 
 # End-to-end pipeline over the trace toolchain: record a short causal

@@ -180,6 +180,7 @@ func BenchmarkUncontrolledMix(b *testing.B) {
 
 // BenchmarkEngineEvents measures raw discrete-event throughput.
 func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine(1)
 	var tick func()
 	n := 0
@@ -194,9 +195,45 @@ func BenchmarkEngineEvents(b *testing.B) {
 	eng.RunUntilIdle()
 }
 
+// BenchmarkEngineScheduleCancel measures the timer set/clear cycle the
+// kernel performs on every dispatch: schedule a future event, then
+// cancel it before it fires. Real cancellation removes the entry
+// immediately, so the queue stays empty and both ops are zero-alloc.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Cancel(eng.After(1000, fn))
+	}
+}
+
+// BenchmarkEngineChurn measures heap operations against a standing
+// population of pending events: each op cancels a random pending event
+// (interior heap removal) and schedules a replacement.
+func BenchmarkEngineChurn(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	rng := sim.NewRNG(7)
+	fn := func() {}
+	const population = 4096
+	ids := make([]sim.EventID, population)
+	for i := range ids {
+		ids[i] = eng.Schedule(sim.Time(1+rng.Intn(1_000_000)), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(population)
+		eng.Cancel(ids[j])
+		ids[j] = eng.Schedule(sim.Time(1+rng.Intn(1_000_000)), fn)
+	}
+}
+
 // BenchmarkKernelContextSwitch measures the simulator's cost of a
 // dispatch/preempt cycle (two CPU-bound processes on one CPU).
 func BenchmarkKernelContextSwitch(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine(1)
 	mac := machine.New(machine.Config{NumCPU: 1})
 	k := kernel.New(eng, mac, kernel.NewTimeshare(), kernel.Config{Quantum: sim.Millisecond, QuantumJitter: -1})
@@ -216,6 +253,7 @@ func BenchmarkKernelContextSwitch(b *testing.B) {
 
 // BenchmarkSimulatedSpinlock measures lock handoff cost in the simulator.
 func BenchmarkSimulatedSpinlock(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine(1)
 	mac := machine.New(machine.Config{NumCPU: 4})
 	k := kernel.New(eng, mac, kernel.NewTimeshare(), kernel.Config{Quantum: 100 * sim.Millisecond, QuantumJitter: -1})

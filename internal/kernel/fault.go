@@ -57,7 +57,11 @@ func (k *Kernel) Kill(p *Process) bool {
 			p.sleepQ.remove(p)
 			p.sleepQ = nil
 		}
-		p.epoch++ // invalidate pending timer wakeups
+		if p.sleepEv.Valid() {
+			k.eng.Cancel(p.sleepEv) // remove the pending timer wakeup
+			p.sleepEv = sim.EventID{}
+		}
+		p.epoch++ // invalidate pending unstall events
 		k.setState(p, Exited)
 		k.finishKill(p)
 	case Runnable:

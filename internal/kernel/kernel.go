@@ -173,6 +173,13 @@ func (k *Kernel) Spawn(name string, app AppID, workingSet int64, body func(*Env)
 		grant: make(chan struct{}),
 		rng:   k.rng.Split(),
 	}
+	// One closure per event kind for the process's whole lifetime; the
+	// dispatch hot path then schedules them with zero allocations.
+	p.quantumFn = func() { k.quantumExpire(p) }
+	p.startFn = func() { k.beginRun(p) }
+	p.computeFn = func() { k.computeDone(p) }
+	p.grantFn = func() { k.grantRun(p) }
+	p.sleepFn = func() { k.sleepDone(p) }
 	k.procs = append(k.procs, p)
 	k.byID[p.id] = p
 	k.nlive++
@@ -333,14 +340,17 @@ func (k *Kernel) dispatch(cpu *cpuState) {
 		q += k.rng.Duration(0, k.cfg.QuantumJitter-1)
 	}
 	p.quantumEnd = now.Add(overhead + q)
-	epoch := p.epoch
-	k.eng.Schedule(p.quantumEnd, func() { k.quantumExpire(p, epoch) })
-	k.eng.Schedule(now.Add(overhead), func() {
-		if p.epoch == epoch && p.state == Running {
-			p.active = true
-			k.runProc(p)
-		}
-	})
+	p.quantumEv = k.eng.Schedule(p.quantumEnd, p.quantumFn)
+	p.startEv = k.eng.Schedule(now.Add(overhead), p.startFn)
+}
+
+// beginRun fires when the current dispatch's overhead has been paid: the
+// process starts executing instructions. The event is canceled by unrun
+// if the process is descheduled first, so no staleness guard is needed.
+func (k *Kernel) beginRun(p *Process) {
+	p.startEv = sim.EventID{}
+	p.active = true
+	k.runProc(p)
 }
 
 // runProc processes p's pending coroutine requests at the current
@@ -430,16 +440,7 @@ func (k *Kernel) runProc(p *Process) {
 		case reqSleepFor:
 			d := r.dur
 			k.unrun(p, Blocked)
-			epoch := p.epoch
-			k.eng.After(d, func() {
-				if p.epoch != epoch || p.state != Blocked {
-					return
-				}
-				k.setState(p, Runnable)
-				p.pendingDone = true // the timed sleep is over
-				k.pol.Enqueue(p)
-				k.kickIdle()
-			})
+			p.sleepEv = k.eng.After(d, p.sleepFn)
 			return
 
 		case reqWake:
@@ -471,26 +472,30 @@ func (k *Kernel) runProc(p *Process) {
 func (k *Kernel) startComputeLeg(p *Process) {
 	now := k.eng.Now()
 	rem := p.quantumEnd.Sub(now)
+	// A rescheduled leg supersedes any still-pending completion (e.g.
+	// after a quantum extension whose expiry tied with the completion
+	// instant): cancel it outright instead of guarding with a sequence
+	// number.
+	if p.computeEv.Valid() {
+		k.eng.Cancel(p.computeEv)
+		p.computeEv = sim.EventID{}
+	}
 	p.computing = true
 	p.computeStart = now
-	p.computeSeq++
 	if p.computeLeft <= rem {
-		d := p.computeLeft
-		epoch := p.epoch
-		seq := p.computeSeq
-		k.eng.After(d, func() {
-			// The leg sequence guard rejects a completion superseded by
-			// a rescheduled leg (e.g. after a quantum extension whose
-			// expiry tied with this completion).
-			if p.epoch != epoch || p.state != Running || p.computeSeq != seq || !p.computing {
-				return
-			}
-			p.computing = false
-			p.computeLeft = 0
-			k.advance(p)
-			k.runProc(p)
-		})
+		p.computeEv = k.eng.After(p.computeLeft, p.computeFn)
 	}
+}
+
+// computeDone fires when the current compute leg runs to completion
+// within its quantum. Preemption, blocking, and rescheduled legs cancel
+// the event, so no staleness guard is needed.
+func (k *Kernel) computeDone(p *Process) {
+	p.computeEv = sim.EventID{}
+	p.computing = false
+	p.computeLeft = 0
+	k.advance(p)
+	k.runProc(p)
 }
 
 // grantLock hands l to running waiter w and schedules w's continuation.
@@ -510,14 +515,26 @@ func (k *Kernel) grantLock(l *SpinLock, w *Process) {
 	if k.OnLockAcquire != nil {
 		k.OnLockAcquire(w, l, spun)
 	}
-	epoch := w.epoch
-	k.eng.Schedule(now, func() {
-		if w.epoch != epoch || w.state != Running {
-			return
-		}
-		k.advance(w)
-		k.runProc(w)
-	})
+	w.grantEv = k.eng.Schedule(now, w.grantFn)
+}
+
+// grantRun continues a running waiter that was just handed a lock by a
+// releasing (or crashing) holder. A preemption squeezed between the
+// grant and this continuation cancels the event via unrun.
+func (k *Kernel) grantRun(p *Process) {
+	p.grantEv = sim.EventID{}
+	k.advance(p)
+	k.runProc(p)
+}
+
+// sleepDone fires when a timed sleep elapses. Kill cancels the event,
+// so no staleness guard is needed.
+func (k *Kernel) sleepDone(p *Process) {
+	p.sleepEv = sim.EventID{}
+	k.setState(p, Runnable)
+	p.pendingDone = true // the timed sleep is over
+	k.pol.Enqueue(p)
+	k.kickIdle()
 }
 
 // WakeQueue unblocks up to n processes sleeping on q and returns how many
@@ -544,15 +561,16 @@ func (k *Kernel) WakeQueue(q *WaitQueue, n int) int {
 	return woken
 }
 
-// quantumExpire fires at the end of p's time slice.
-func (k *Kernel) quantumExpire(p *Process, epoch uint64) {
-	if p.epoch != epoch || p.state != Running {
-		return
-	}
+// quantumExpire fires at the end of p's time slice. The event is
+// canceled by unrun whenever the process is descheduled first (preempt,
+// block, kill, exit), so — unlike the epoch-guard scheme it replaces —
+// a stale expiry can never fire and no dead events sit in the queue.
+func (k *Kernel) quantumExpire(p *Process) {
+	p.quantumEv = sim.EventID{}
 	if ext := k.pol.OnQuantumExpire(p); ext > 0 {
 		now := k.eng.Now()
 		p.quantumEnd = now.Add(ext)
-		k.eng.Schedule(p.quantumEnd, func() { k.quantumExpire(p, epoch) })
+		p.quantumEv = k.eng.Schedule(p.quantumEnd, p.quantumFn)
 		if p.computing {
 			// Fold progress into the pending compute and reschedule:
 			// its completion may fit in the extended slice.
@@ -596,7 +614,9 @@ func (k *Kernel) Preempt(p *Process) {
 }
 
 // unrun takes a Running process off its CPU, transitions it to next, and
-// refills the CPU.
+// refills the CPU. It cancels every event tied to the dispatch being
+// ended — quantum expiry, overhead completion, compute completion, lock
+// grant continuation — so the engine's queue holds no stale work.
 func (k *Kernel) unrun(p *Process, next ProcState) {
 	now := k.eng.Now()
 	cpu := p.cpu
@@ -606,6 +626,14 @@ func (k *Kernel) unrun(p *Process, next ProcState) {
 	p.usage += float64(ran)
 	cpu.hw.BusyTime += ran
 	p.epoch++
+	k.eng.Cancel(p.quantumEv)
+	k.eng.Cancel(p.startEv)
+	k.eng.Cancel(p.computeEv)
+	k.eng.Cancel(p.grantEv)
+	p.quantumEv = sim.EventID{}
+	p.startEv = sim.EventID{}
+	p.computeEv = sim.EventID{}
+	p.grantEv = sim.EventID{}
 	p.computing = false
 	p.active = false
 	cpu.running = nil

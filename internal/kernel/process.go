@@ -101,6 +101,24 @@ type Process struct {
 	blockSince  sim.Time
 	quantumEnd  sim.Time
 
+	// Pending engine events owned by this process. Each is canceled for
+	// real when the process leaves the state that scheduled it (unrun,
+	// kill), so no dead events linger in the engine's queue. The zero
+	// EventID means "none pending".
+	quantumEv sim.EventID // quantum expiry of the current dispatch
+	startEv   sim.EventID // end of the current dispatch's overhead
+	computeEv sim.EventID // completion of the current compute leg
+	grantEv   sim.EventID // continuation after an off-CPU lock grant
+	sleepEv   sim.EventID // wakeup of the current timed sleep
+
+	// Per-process event callbacks, allocated once at Spawn so the
+	// dispatch hot path schedules without allocating closures.
+	quantumFn func()
+	startFn   func()
+	computeFn func()
+	grantFn   func()
+	sleepFn   func()
+
 	// Pending coroutine request not yet satisfied.
 	pending request
 
@@ -108,7 +126,6 @@ type Process struct {
 	computeLeft  sim.Duration
 	computeStart sim.Time // when the current compute leg began running
 	computing    bool     // a compute leg is in progress on a CPU
-	computeSeq   uint64   // bumped per compute leg; guards stale completions
 
 	// Spin state.
 	waitingLock *SpinLock

@@ -103,6 +103,15 @@ func (c *CPU) dispatch(f FootprintID, ws int64) (switchCost, reloadCost sim.Dura
 		c.CacheMisses++
 	} else {
 		c.CacheHits++
+		if c.resident[f] == want {
+			// Fully resident at exactly the target size: the eviction
+			// pass below would delete and re-insert f with identical
+			// sizes and evict nothing (free ≥ want after removing f).
+			// Skip the map churn — warm re-dispatch of the same process
+			// is the hottest case under affinity scheduling.
+			c.SwitchTime += switchCost
+			return switchCost, 0
+		}
 	}
 
 	// Bring f fully resident, evicting other footprints proportionally

@@ -100,9 +100,16 @@ func (g *Gauge) Value() int64 { return g.m.val.Load() }
 type Histogram struct{ m *metric }
 
 // Observe records v: the first bucket whose upper bound is >= v (the
-// Prometheus "le" convention), or the implicit +Inf bucket.
+// Prometheus "le" convention), or the implicit +Inf bucket. The bucket
+// scan is linear: layouts are at most a handful of bounds (TimeBuckets
+// has 7), where a branch-predictable sweep beats sort.Search's closure
+// calls — Observe sits on the kernel's dispatch path.
 func (h *Histogram) Observe(v int64) {
-	i := sort.Search(len(h.m.bounds), func(i int) bool { return h.m.bounds[i] >= v })
+	bounds := h.m.bounds
+	i := 0
+	for i < len(bounds) && bounds[i] < v {
+		i++
+	}
 	h.m.buckets[i].Add(1)
 	h.m.count.Add(1)
 	h.m.sum.Add(v)
@@ -127,9 +134,12 @@ type Registry struct {
 	collectors []func()
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry. The maps are pre-sized for a
+// typical simulation's series population (the kernel alone registers
+// dozens of per-CPU and per-app series) so startup registration does
+// not rehash repeatedly.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*metric), baseKind: make(map[string]Kind)}
+	return &Registry{byName: make(map[string]*metric, 128), baseKind: make(map[string]Kind, 64)}
 }
 
 // Name formats a metric name with label pairs:

@@ -209,6 +209,276 @@ func TestEngineQuiescenceBeforeHorizon(t *testing.T) {
 	}
 }
 
+// TestEngineZeroAllocSteadyState pins the tentpole property: once the
+// record slab has grown to the workload's high-water mark, Schedule,
+// After, Cancel, and the run loop allocate nothing. A regression here
+// silently taxes every simulation in the repo.
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	// Prime the slab and the heap backing array.
+	var ids []EventID
+	for i := 0; i < 64; i++ {
+		ids = append(ids, e.Schedule(Time(i), fn))
+	}
+	for _, id := range ids {
+		e.Cancel(id)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		id := e.Schedule(e.Now().Add(10), fn)
+		e.Cancel(id)
+	}); n != 0 {
+		t.Errorf("Schedule+Cancel allocates %.1f per op in steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		e.Cancel(e.After(10, fn))
+	}); n != 0 {
+		t.Errorf("After+Cancel allocates %.1f per op in steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			e.After(Duration(i%7), fn)
+		}
+		e.RunUntilIdle()
+	}); n != 0 {
+		t.Errorf("Schedule+Run cycle allocates %.1f per op in steady state, want 0", n)
+	}
+}
+
+// TestEngineFiredExcludesCanceled pins the Fired/Canceled accounting
+// semantics: events canceled before their instant never fire and never
+// count, including the tricky case of an event canceled by an earlier
+// event at the very same instant (the old tombstone engine drained
+// those inside the run loop; they must not bump Fired).
+func TestEngineFiredExcludesCanceled(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	var victim, victim2 EventID
+	e.Schedule(10, func() {
+		ran++
+		e.Cancel(victim)  // same instant, later seq: must be drained silently
+		e.Cancel(victim2) // later instant
+	})
+	victim = e.Schedule(10, func() { ran++ })
+	victim2 = e.Schedule(20, func() { ran++ })
+	e.Schedule(30, func() { ran++ })
+	e.RunUntilIdle()
+
+	if ran != 2 {
+		t.Errorf("ran %d callbacks, want 2", ran)
+	}
+	if e.Fired() != 2 {
+		t.Errorf("Fired = %d, want 2 (canceled events must not count)", e.Fired())
+	}
+	if e.Canceled() != 2 {
+		t.Errorf("Canceled = %d, want 2", e.Canceled())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after idle, want 0", e.Pending())
+	}
+}
+
+// TestEnginePendingLiveOnly pins that Pending counts live events only:
+// Cancel removes from the queue immediately rather than leaving a
+// tombstone to be discovered later.
+func TestEnginePendingLiveOnly(t *testing.T) {
+	e := NewEngine(1)
+	var ids []EventID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, e.Schedule(Time(10+i), func() {}))
+	}
+	if e.Pending() != 8 {
+		t.Fatalf("Pending = %d, want 8", e.Pending())
+	}
+	for i, id := range ids {
+		e.Cancel(id)
+		if want := 8 - i - 1; e.Pending() != want {
+			t.Fatalf("Pending = %d after %d cancels, want %d", e.Pending(), i+1, want)
+		}
+	}
+	if e.Canceled() != 8 {
+		t.Errorf("Canceled = %d, want 8", e.Canceled())
+	}
+	// Double cancel and cancel-after-fire must not inflate the counter.
+	e.Cancel(ids[0])
+	id := e.Schedule(100, func() {})
+	e.RunUntilIdle()
+	e.Cancel(id)
+	e.Cancel(EventID{}) // zero ID is inert
+	if e.Canceled() != 8 {
+		t.Errorf("Canceled = %d after no-op cancels, want 8", e.Canceled())
+	}
+}
+
+// TestEngineSlotReuseGeneration pins the generation stamping: an ID
+// whose slot has been recycled for a newer event must be inert — the
+// stale cancel must not kill the new occupant.
+func TestEngineSlotReuseGeneration(t *testing.T) {
+	e := NewEngine(1)
+	stale := e.Schedule(10, func() { t.Error("canceled event fired") })
+	e.Cancel(stale)
+	fired := false
+	fresh := e.Schedule(20, func() { fired = true })
+	if fresh.slot != stale.slot {
+		t.Fatalf("free list did not recycle the slot (stale %d, fresh %d)", stale.slot, fresh.slot)
+	}
+	e.Cancel(stale) // stale generation: must be a no-op
+	e.RunUntilIdle()
+	if !fired {
+		t.Error("stale Cancel killed the slot's new event")
+	}
+	// Self-cancel from inside the firing callback: the record is freed
+	// before the callback runs, so this is a generation-mismatch no-op.
+	var self EventID
+	n := 0
+	self = e.Schedule(30, func() {
+		n++
+		e.Cancel(self)
+	})
+	e.Schedule(40, func() { n++ })
+	e.RunUntilIdle()
+	if n != 2 {
+		t.Errorf("self-cancel disturbed the queue: %d fired, want 2", n)
+	}
+}
+
+// TestEngineCancelRescheduleStress drives the engine through a long
+// randomized mix of schedule, cancel, and cancel-then-reschedule
+// operations — including cancels issued from inside callbacks — and
+// checks the firing order and the Fired/Canceled/Pending accounting
+// against a flat reference model. This is the adversarial workout for
+// the free list + generation machinery under heavy slot churn.
+func TestEngineCancelRescheduleStress(t *testing.T) {
+	rng := NewRNG(2026)
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine(1)
+		type ref struct {
+			at       Time
+			id       EventID
+			key      int
+			canceled bool
+		}
+		var model []*ref
+		var got, want []int
+		nsched := 0
+		schedule := func(at Time, key int) *ref {
+			r := &ref{at: at, key: key}
+			r.id = e.Schedule(at, func() { got = append(got, key) })
+			model = append(model, r)
+			nsched++
+			return r
+		}
+		cancelRef := func(r *ref) {
+			if !r.canceled {
+				e.Cancel(r.id)
+				r.canceled = true
+			}
+		}
+		live := func() []*ref {
+			var out []*ref
+			for _, r := range model {
+				if !r.canceled {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+
+		// Build an initial population, then churn: cancel some, reschedule
+		// replacements (recycling slots), cancel stale IDs again.
+		for i := 0; i < 100; i++ {
+			schedule(Time(rng.Intn(500)), i)
+		}
+		key := 100
+		for round := 0; round < 200; round++ {
+			switch rng.Intn(3) {
+			case 0:
+				if l := live(); len(l) > 0 {
+					cancelRef(l[rng.Intn(len(l))])
+				}
+			case 1:
+				schedule(Time(rng.Intn(500)), key)
+				key++
+			case 2: // cancel + immediate replacement at the same instant
+				if l := live(); len(l) > 0 {
+					victim := l[rng.Intn(len(l))]
+					cancelRef(victim)
+					schedule(victim.at, key)
+					key++
+				}
+			}
+		}
+		// A few events cancel other live events when they fire.
+		for i := 0; i < 10; i++ {
+			l := live()
+			if len(l) < 2 {
+				break
+			}
+			target := l[rng.Intn(len(l))]
+			at := Time(rng.Intn(500))
+			r := &ref{at: at, key: key}
+			tkey := key
+			r.id = e.Schedule(at, func() {
+				got = append(got, tkey)
+				// Only cancel targets strictly in the future: the target
+				// was scheduled before this canceler, so at an equal
+				// instant it has already fired and Cancel is a no-op.
+				if !target.canceled && target.at > at {
+					cancelRef(target)
+				}
+			})
+			model = append(model, r)
+			nsched++
+			key++
+		}
+
+		beforeCancels := e.Canceled()
+		e.RunUntilIdle()
+
+		// Replay the model: fire in (at, insertion) order, honoring
+		// cancels exactly as the callbacks above applied them. The
+		// callback-driven cancels already flipped r.canceled eagerly, but
+		// only for targets strictly after the canceler in (at, seq) order,
+		// so the final canceled flags equal the engine's view.
+		var flat []*ref
+		flat = append(flat, model...)
+		for at := Time(0); at < 500; at++ {
+			for _, r := range flat {
+				if r.at == at && !r.canceled {
+					want = append(want, r.key)
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: firing order diverged at %d: got %d want %d", trial, i, got[i], want[i])
+			}
+		}
+		ncanceled := 0
+		for _, r := range model {
+			if r.canceled {
+				ncanceled++
+			}
+		}
+		if e.Fired() != uint64(len(want)) {
+			t.Errorf("trial %d: Fired = %d, want %d", trial, e.Fired(), len(want))
+		}
+		if e.Canceled() != uint64(ncanceled) {
+			t.Errorf("trial %d: Canceled = %d, want %d (pre-run %d)", trial, e.Canceled(), ncanceled, beforeCancels)
+		}
+		if e.Pending() != 0 {
+			t.Errorf("trial %d: Pending = %d after idle, want 0", trial, e.Pending())
+		}
+		if uint64(nsched) != e.Fired()+e.Canceled() {
+			t.Errorf("trial %d: scheduled %d != fired %d + canceled %d", trial, nsched, e.Fired(), e.Canceled())
+		}
+	}
+}
+
 // TestEngineMatchesReferenceModel drives the event heap with random
 // schedule/cancel sequences and checks the firing order against a
 // simple sorted-slice reference implementation.

@@ -106,11 +106,17 @@ type App struct {
 	k    *kernel.Kernel
 	cfg  Config
 
-	qlock    *kernel.SpinLock   // guards ready/depsLeft/remaining
-	locks    []*kernel.SpinLock // application locks, by LockID
-	ready    []TaskID           // FIFO ready queue
-	depsLeft []int
-	remain   int
+	qlock *kernel.SpinLock   // guards ready/depsLeft/remaining
+	locks []*kernel.SpinLock // application locks, by LockID
+	ready []TaskID           // FIFO ready queue
+	// depsLeft counts unresolved inbound *spans* per task (inline edges
+	// plus one per barrier group); groupsLeft counts unfinished
+	// near-side tasks per barrier group. Equivalent to per-edge
+	// counting, but a completion does O(spans) work instead of
+	// O(edges) — see Workload.Barrier.
+	depsLeft   []int
+	groupsLeft []int
+	remain     int
 
 	suspendQ *kernel.WaitQueue
 	target   int // desired runnable processes, from the last poll
@@ -200,8 +206,9 @@ func Launch(k *kernel.Kernel, id kernel.AppID, wl *Workload, cfg Config) *App {
 		reg.Gauge(metrics.Name("sim_app_runnable", "app", wl.Name), "workers not suspended by process control").Set(int64(a.runnable))
 		reg.Gauge(metrics.Name("sim_app_target", "app", wl.Name), "most recently polled server target").Set(int64(a.target))
 	})
+	a.groupsLeft = append([]int(nil), wl.groupFrom...)
 	for i := 0; i < wl.Len(); i++ {
-		a.depsLeft[i] = wl.tasks[i].ndeps
+		a.depsLeft[i] = wl.tasks[i].nspans
 		if a.depsLeft[i] == 0 {
 			a.ready = append(a.ready, TaskID(i))
 			if cfg.RecordLatency {
@@ -348,17 +355,36 @@ func (a *App) dequeue() TaskID {
 // complete retires a task and readies its dependents; it reports whether
 // the workload just finished. Callers hold qlock.
 func (a *App) complete(id TaskID) bool {
-	for _, s := range a.wl.tasks[id].succs {
-		a.depsLeft[s]--
-		if a.depsLeft[s] == 0 {
-			a.ready = append(a.ready, s)
-			if a.readyAt != nil {
-				a.readyAt[s] = a.k.Now()
+	for _, sp := range a.wl.tasks[id].succs {
+		if sp.group < 0 {
+			a.readyDep(sp.edge)
+			continue
+		}
+		a.groupsLeft[sp.group]--
+		if a.groupsLeft[sp.group] == 0 {
+			// The barrier's last near-side task just finished: the
+			// group span resolves for every far-side task, in declared
+			// order — the same instant and order at which per-edge
+			// counting would have readied them.
+			for _, s := range a.wl.groups[sp.group] {
+				a.readyDep(s)
 			}
 		}
 	}
 	a.remain--
 	return a.remain == 0
+}
+
+// readyDep retires one inbound dependency of s, enqueueing it when the
+// last one clears. Callers hold qlock.
+func (a *App) readyDep(s TaskID) {
+	a.depsLeft[s]--
+	if a.depsLeft[s] == 0 {
+		a.ready = append(a.ready, s)
+		if a.readyAt != nil {
+			a.readyAt[s] = a.k.Now()
+		}
+	}
 }
 
 // finish records completion, releases suspended peers so they can exit,

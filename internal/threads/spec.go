@@ -98,9 +98,9 @@ func (w *Workload) WriteSpec(out io.Writer) error {
 	// Reconstruct dependency lists (succs store the forward edges).
 	deps := make([][]int, len(w.tasks))
 	for i := range w.tasks {
-		for _, s := range w.tasks[i].succs {
+		w.eachSucc(TaskID(i), func(s TaskID) {
 			deps[s] = append(deps[s], i)
-		}
+		})
 	}
 	for i := range w.tasks {
 		t := &w.tasks[i]

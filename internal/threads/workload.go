@@ -36,10 +36,46 @@ type Task struct {
 	// of the task's Work happens while holding Lock.
 	Lock     LockID
 	LockWork sim.Duration
-	// succs are tasks that cannot start until this one finishes.
-	succs []TaskID
-	// ndeps is the number of predecessor tasks.
+	// succs lists the tasks that cannot start until this one finishes,
+	// as an ordered sequence of spans: a span is either one inline edge
+	// (from Dep) or a reference to a successor group shared by every
+	// task on the near side of a Barrier. Sharing the group keeps an
+	// n×m barrier at O(n+m) memory instead of materializing n·m edges —
+	// BigFFT's barriers alone were ~1.5 GB of edge slices before.
+	succs []succSpan
+	// ndeps is the number of predecessor tasks (counting barrier edges
+	// individually, exactly as if they were materialized).
 	ndeps int
+	// nspans is the number of inbound spans: inline Dep edges plus one
+	// per barrier this task is on the far side of. The runtime counts
+	// readiness in spans (a barrier group "fires" once, when its last
+	// near-side task finishes), which is O(n+m) work per barrier yet
+	// yields readiness instants and orders identical to per-edge
+	// counting: a task's last inbound span resolves at the same moment
+	// its last inbound edge would have.
+	nspans int
+}
+
+// succSpan is one entry of a task's successor list: an inline edge when
+// group < 0, otherwise an index into the workload's shared groups.
+type succSpan struct {
+	group int32
+	edge  TaskID
+}
+
+// eachSucc calls fn for every successor of t, in the exact order the
+// edges were declared (Dep and Barrier calls in program order; within a
+// barrier, the `to` slice in order).
+func (w *Workload) eachSucc(t TaskID, fn func(TaskID)) {
+	for _, sp := range w.tasks[t].succs {
+		if sp.group < 0 {
+			fn(sp.edge)
+			continue
+		}
+		for _, s := range w.groups[sp.group] {
+			fn(s)
+		}
+	}
 }
 
 // Workload is an immutable DAG of tasks plus the locks they use. Build
@@ -48,7 +84,9 @@ type Task struct {
 type Workload struct {
 	Name     string
 	tasks    []Task
-	numLocks int
+	groups    [][]TaskID // shared barrier successor groups
+	groupFrom []int      // per group: how many near-side tasks feed it
+	numLocks  int
 }
 
 // NewWorkload returns an empty workload.
@@ -81,17 +119,43 @@ func (w *Workload) Dep(from, to TaskID) {
 	if from == to {
 		panic("threads: task depends on itself")
 	}
-	w.tasks[from].succs = append(w.tasks[from].succs, to)
+	w.tasks[from].succs = append(w.tasks[from].succs, succSpan{group: -1, edge: to})
 	w.tasks[to].ndeps++
+	w.tasks[to].nspans++
 }
 
 // Barrier makes every task in `to` depend on every task in `from` — the
-// workload generators use it between parallel phases.
+// workload generators use it between parallel phases. The `to` set is
+// stored once and shared by every `from` task, so an n×m barrier costs
+// O(n+m) memory; dependency semantics (ndeps counts, readiness order)
+// are identical to declaring each of the n·m edges with Dep.
 func (w *Workload) Barrier(from, to []TaskID) {
+	if len(from) == 0 || len(to) == 0 {
+		return
+	}
+	if len(to) == 1 {
+		// A join barrier: inline edges are smaller than a shared group.
+		for _, f := range from {
+			w.Dep(f, to[0])
+		}
+		return
+	}
 	for _, f := range from {
 		for _, t := range to {
-			w.Dep(f, t)
+			if f == t {
+				panic("threads: task depends on itself")
+			}
 		}
+	}
+	for _, t := range to {
+		w.tasks[t].ndeps += len(from)
+		w.tasks[t].nspans++
+	}
+	g := int32(len(w.groups))
+	w.groups = append(w.groups, append([]TaskID(nil), to...))
+	w.groupFrom = append(w.groupFrom, len(from))
+	for _, f := range from {
+		w.tasks[f].succs = append(w.tasks[f].succs, succSpan{group: g, edge: -1})
 	}
 }
 
@@ -126,11 +190,11 @@ func (w *Workload) CriticalPath() sim.Duration {
 		}
 		done[i] = true // set before recursion; DAG has no cycles by construction
 		var best sim.Duration
-		for _, s := range w.tasks[i].succs {
+		w.eachSucc(i, func(s TaskID) {
 			if d := longest(s); d > best {
 				best = d
 			}
-		}
+		})
 		memo[i] = best + w.tasks[i].Work
 		return memo[i]
 	}
@@ -147,14 +211,18 @@ func (w *Workload) CriticalPath() sim.Duration {
 
 // Validate checks the DAG for executability: at least one root and no
 // unreachable tasks under Kahn's algorithm (which also rejects cycles).
+// It runs over the span graph — barrier groups are collapsed nodes that
+// fire once all their near-side tasks are processed — so the cost is
+// O(tasks + spans + group sizes), not O(materialized edges).
 func (w *Workload) Validate() error {
 	if len(w.tasks) == 0 {
 		return fmt.Errorf("threads: workload %q has no tasks", w.Name)
 	}
 	deg := make([]int, len(w.tasks))
 	for i := range w.tasks {
-		deg[i] = w.tasks[i].ndeps
+		deg[i] = w.tasks[i].nspans
 	}
+	gdeg := append([]int(nil), w.groupFrom...)
 	var queue []TaskID
 	for i := range w.tasks {
 		if deg[i] == 0 {
@@ -162,14 +230,26 @@ func (w *Workload) Validate() error {
 		}
 	}
 	seen := 0
+	ready := func(s TaskID) {
+		deg[s]--
+		if deg[s] == 0 {
+			queue = append(queue, s)
+		}
+	}
 	for len(queue) > 0 {
 		t := queue[0]
 		queue = queue[1:]
 		seen++
-		for _, s := range w.tasks[t].succs {
-			deg[s]--
-			if deg[s] == 0 {
-				queue = append(queue, s)
+		for _, sp := range w.tasks[t].succs {
+			if sp.group < 0 {
+				ready(sp.edge)
+				continue
+			}
+			gdeg[sp.group]--
+			if gdeg[sp.group] == 0 {
+				for _, s := range w.groups[sp.group] {
+					ready(s)
+				}
 			}
 		}
 	}

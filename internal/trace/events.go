@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"procctl/internal/kernel"
 	"procctl/internal/sim"
@@ -92,6 +93,116 @@ type Event struct {
 
 func intp(i int) *int { return &i }
 
+// appendString appends s as a JSON string, byte-identical to
+// encoding/json's output (including its HTML-safe escaping of <, >, and
+// &). Strings in a trace are almost always short ASCII identifiers, so
+// the common case is a copy between quotes; anything that needs
+// escaping falls back to encoding/json.
+func appendString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			enc, err := json.Marshal(s)
+			if err != nil {
+				panic(err) // cannot happen for a string
+			}
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// appendEvent appends ev's JSON-lines encoding to b, byte-identical to
+// encoding/json's (struct field order, the omitempty set, HTML-safe
+// string escaping, trailing newline) — same-seed traces must stay
+// byte-identical across versions, so the golden trace test and
+// TestAppendEventMatchesEncodingJSON both pin the equivalence. The
+// hand-rolled path exists because the recorder serializes millions of
+// lines per run and reflection-driven marshaling dominated its profile.
+func appendEvent(b []byte, ev *Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(ev.T), 10)
+	b = append(b, `,"kind":`...)
+	b = appendString(b, ev.Kind)
+	if ev.PID != 0 {
+		b = append(b, `,"pid":`...)
+		b = strconv.AppendInt(b, int64(ev.PID), 10)
+	}
+	if ev.App != 0 {
+		b = append(b, `,"app":`...)
+		b = strconv.AppendInt(b, int64(ev.App), 10)
+	}
+	if ev.Name != "" {
+		b = append(b, `,"name":`...)
+		b = appendString(b, ev.Name)
+	}
+	if ev.From != "" {
+		b = append(b, `,"from":`...)
+		b = appendString(b, ev.From)
+	}
+	if ev.To != "" {
+		b = append(b, `,"to":`...)
+		b = appendString(b, ev.To)
+	}
+	if ev.CPU != nil {
+		b = append(b, `,"cpu":`...)
+		b = strconv.AppendInt(b, int64(*ev.CPU), 10)
+	}
+	if ev.Lock != "" {
+		b = append(b, `,"lock":`...)
+		b = appendString(b, ev.Lock)
+	}
+	if ev.Holder != 0 {
+		b = append(b, `,"holder":`...)
+		b = strconv.AppendInt(b, int64(ev.Holder), 10)
+	}
+	if ev.HolderState != "" {
+		b = append(b, `,"holder_state":`...)
+		b = appendString(b, ev.HolderState)
+	}
+	if ev.First {
+		b = append(b, `,"first":true`...)
+	}
+	if ev.Forced {
+		b = append(b, `,"forced":true`...)
+	}
+	if ev.Dur != 0 {
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendInt(b, int64(ev.Dur), 10)
+	}
+	if ev.Wait != 0 {
+		b = append(b, `,"wait":`...)
+		b = strconv.AppendInt(b, int64(ev.Wait), 10)
+	}
+	if ev.SW != 0 {
+		b = append(b, `,"sw":`...)
+		b = strconv.AppendInt(b, int64(ev.SW), 10)
+	}
+	if ev.RL != 0 {
+		b = append(b, `,"rl":`...)
+		b = strconv.AppendInt(b, int64(ev.RL), 10)
+	}
+	if ev.Layer != "" {
+		b = append(b, `,"layer":`...)
+		b = appendString(b, ev.Layer)
+	}
+	if ev.Task != nil {
+		b = append(b, `,"task":`...)
+		b = strconv.AppendInt(b, int64(*ev.Task), 10)
+	}
+	if ev.Target != nil {
+		b = append(b, `,"target":`...)
+		b = strconv.AppendInt(b, int64(*ev.Target), 10)
+	}
+	if ev.Cause != 0 {
+		b = append(b, `,"cause":`...)
+		b = strconv.AppendInt(b, ev.Cause, 10)
+	}
+	return append(b, '}', '\n')
+}
+
 // Recorder streams cross-layer scheduling events as JSON lines — the
 // simulator's equivalent of a kernel tracepoint log with user-level
 // annotations folded in. Analyze the output with ReadSummary,
@@ -99,7 +210,7 @@ func intp(i int) *int { return &i }
 type Recorder struct {
 	k      *kernel.Kernel
 	w      *bufio.Writer
-	enc    *json.Encoder
+	buf    []byte // per-event scratch, reused so emit never allocates
 	err    error
 	events int64
 	closed bool
@@ -109,9 +220,11 @@ type Recorder struct {
 // version-2 header line built from k and meta. It chains any hooks
 // already installed on the kernel or its machine.
 func NewRecorder(k *kernel.Kernel, w io.Writer, meta Meta) *Recorder {
-	bw := bufio.NewWriter(w)
-	r := &Recorder{k: k, w: bw, enc: json.NewEncoder(bw)}
-	r.err = r.enc.Encode(Header{
+	// A large buffer matters: a figure run emits millions of lines, and
+	// the default 4 KiB buffer made the underlying writer the bottleneck.
+	bw := bufio.NewWriterSize(w, 1<<18)
+	r := &Recorder{k: k, w: bw, buf: make([]byte, 0, 256)}
+	hdr, err := json.Marshal(Header{
 		Kind:    "header",
 		Version: FormatVersion,
 		Seed:    meta.Seed,
@@ -119,6 +232,10 @@ func NewRecorder(k *kernel.Kernel, w io.Writer, meta Meta) *Recorder {
 		CPUs:    k.NumCPU(),
 		Control: meta.Control,
 	})
+	if err == nil {
+		_, err = bw.Write(append(hdr, '\n'))
+	}
+	r.err = err
 
 	prevSpawn := k.OnSpawn
 	k.OnSpawn = func(p *kernel.Process) {
@@ -237,7 +354,10 @@ func (r *Recorder) emit(ev Event) {
 		return
 	}
 	r.events++
-	r.err = r.enc.Encode(ev)
+	r.buf = appendEvent(r.buf[:0], &ev)
+	if _, err := r.w.Write(r.buf); err != nil {
+		r.err = err
+	}
 }
 
 // Events returns how many events were recorded (excluding the header).
