@@ -1,0 +1,325 @@
+// Command procctl-bench is the performance-regression harness: it runs
+// the curated benchmark subset programmatically (the engine/kernel
+// microbenchmarks plus the Fig4 end-to-end run and the recorded-trace
+// second), writes a schema'd BENCH_<date>.json, and — when given a
+// baseline — fails on >threshold ns/op regression or ANY allocs/op
+// increase (allocation counts are deterministic, so zero drift is the
+// correct tolerance).
+//
+//	procctl-bench [-benchtime 1s] [-baseline bench/BENCH_baseline.json]
+//	              [-threshold 0.10] [-out BENCH_<date>.json]
+//
+// Regenerate the baseline on a quiet machine of the same runner class:
+//
+//	go run ./cmd/procctl-bench -out bench/BENCH_baseline.json
+//
+// The raw per-figure suite remains `go test -bench=.` (make bench-go);
+// this binary is the curated regression gate wired into `make bench`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"procctl/internal/apps"
+	"procctl/internal/experiments"
+	"procctl/internal/kernel"
+	"procctl/internal/machine"
+	"procctl/internal/sim"
+	"procctl/internal/threads"
+	"procctl/internal/trace"
+)
+
+const schema = "procctl-bench/1"
+
+// result is one benchmark's measurement, serialized into the report.
+type result struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	WallSeconds  float64 `json:"wall_seconds,omitempty"`
+}
+
+// report is the BENCH_<date>.json file, schema procctl-bench/1.
+type report struct {
+	Schema     string   `json:"schema"`
+	Date       string   `json:"date"`
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// metric selects the derived column a benchmark reports beyond the
+// standard ns/op, B/op, allocs/op.
+type metric int
+
+const (
+	plain  metric = iota
+	events        // throughput benchmarks: ops/sec
+	wall          // end-to-end runs: seconds per op
+)
+
+type bench struct {
+	name   string
+	extra  metric
+	fn     func(b *testing.B)
+}
+
+func main() {
+	var (
+		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (test.benchtime syntax)")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against (empty: record only)")
+		threshold = flag.Float64("threshold", 0.10, "allowed fractional ns/op regression")
+		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+	)
+	// testing.Benchmark honors the standard test.benchtime flag; route
+	// ours through it so `make bench BENCH_TIME=100ms` works.
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatalf("bad -benchtime %q: %v", *benchtime, err)
+	}
+
+	rep := report{
+		Schema: schema,
+		Date:   time.Now().Format("2006-01-02"),
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	for _, bm := range curated() {
+		fmt.Fprintf(os.Stderr, "procctl-bench: %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		res := result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		switch bm.extra {
+		case events:
+			if res.NsPerOp > 0 {
+				res.EventsPerSec = 1e9 / res.NsPerOp
+			}
+		case wall:
+			res.WallSeconds = res.NsPerOp / 1e9
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "procctl-bench: wrote %s\n", path)
+
+	if *baseline == "" {
+		return
+	}
+	if !compare(os.Stderr, *baseline, rep, *threshold) {
+		os.Exit(1)
+	}
+}
+
+// compare prints a per-benchmark verdict table and reports whether the
+// run is within budget: ns/op may drift up to threshold over the
+// baseline, allocs/op may not increase at all.
+func compare(w io.Writer, path string, rep report, threshold float64) bool {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var base report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if base.Schema != schema {
+		fatalf("%s: schema %q, want %q", path, base.Schema, schema)
+	}
+	byName := make(map[string]result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	ok := true
+	for _, cur := range rep.Benchmarks {
+		b, found := byName[cur.Name]
+		if !found {
+			fmt.Fprintf(w, "procctl-bench: %-22s %12.1f ns/op  (new, no baseline)\n", cur.Name, cur.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = cur.NsPerOp/b.NsPerOp - 1
+		}
+		verdict := "ok"
+		if cur.NsPerOp > b.NsPerOp*(1+threshold) {
+			verdict = fmt.Sprintf("REGRESSION ns/op +%.1f%% > +%.0f%% budget", delta*100, threshold*100)
+			ok = false
+		}
+		// Allocation counts are deterministic for the zero-alloc
+		// microbenchmarks (any increase is a real regression), but the
+		// multi-second end-to-end runs pick up a few stray runtime-side
+		// allocations (goroutine machinery, background GC) — grant those
+		// 0.001% absolute slack so the gate cannot flake on noise while
+		// still catching any real per-op allocation added to the path.
+		if slack := b.AllocsPerOp / 100_000; cur.AllocsPerOp > b.AllocsPerOp+slack {
+			verdict = fmt.Sprintf("REGRESSION allocs/op %d > %d (no increase allowed)", cur.AllocsPerOp, b.AllocsPerOp)
+			ok = false
+		}
+		fmt.Fprintf(w, "procctl-bench: %-22s %12.1f ns/op (base %12.1f, %+6.1f%%)  %d allocs (base %d)  %s\n",
+			cur.Name, cur.NsPerOp, b.NsPerOp, delta*100, cur.AllocsPerOp, b.AllocsPerOp, verdict)
+	}
+	if !ok {
+		fmt.Fprintf(w, "procctl-bench: FAIL vs %s\n", path)
+	} else {
+		fmt.Fprintf(w, "procctl-bench: PASS vs %s\n", path)
+	}
+	return ok
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "procctl-bench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// curated returns the regression set. The microbenchmark bodies mirror
+// the root bench_test.go definitions of the same names — kept in both
+// places because a main package cannot import _test.go files; the two
+// sets are pinned to each other by name in EXPERIMENTS.md.
+func curated() []bench {
+	return []bench{
+		{name: "EngineEvents", extra: events, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			eng := sim.NewEngine(1)
+			var tick func()
+			n := 0
+			tick = func() {
+				n++
+				if n < b.N {
+					eng.After(1, tick)
+				}
+			}
+			eng.After(1, tick)
+			b.ResetTimer()
+			eng.RunUntilIdle()
+		}},
+		{name: "EngineScheduleCancel", extra: events, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			eng := sim.NewEngine(1)
+			fn := func() {}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Cancel(eng.After(1000, fn))
+			}
+		}},
+		{name: "EngineChurn", extra: events, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			eng := sim.NewEngine(1)
+			rng := sim.NewRNG(7)
+			fn := func() {}
+			const population = 4096
+			ids := make([]sim.EventID, population)
+			for i := range ids {
+				ids[i] = eng.Schedule(sim.Time(1+rng.Intn(1_000_000)), fn)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := rng.Intn(population)
+				eng.Cancel(ids[j])
+				ids[j] = eng.Schedule(sim.Time(1+rng.Intn(1_000_000)), fn)
+			}
+		}},
+		{name: "KernelContextSwitch", fn: func(b *testing.B) {
+			b.ReportAllocs()
+			eng := sim.NewEngine(1)
+			mac := machine.New(machine.Config{NumCPU: 1})
+			k := kernel.New(eng, mac, kernel.NewTimeshare(), kernel.Config{Quantum: sim.Millisecond, QuantumJitter: -1})
+			for i := 0; i < 2; i++ {
+				k.Spawn("p", 1, 0, func(env *kernel.Env) {
+					for {
+						env.Compute(10 * sim.Millisecond)
+					}
+				})
+			}
+			b.ResetTimer()
+			eng.Run(sim.Time(sim.Duration(b.N) * sim.Millisecond))
+			b.StopTimer()
+			k.Shutdown()
+		}},
+		{name: "SimulatedSpinlock", fn: func(b *testing.B) {
+			b.ReportAllocs()
+			eng := sim.NewEngine(1)
+			mac := machine.New(machine.Config{NumCPU: 4})
+			k := kernel.New(eng, mac, kernel.NewTimeshare(), kernel.Config{Quantum: 100 * sim.Millisecond, QuantumJitter: -1})
+			l := kernel.NewSpinLock("bench")
+			for i := 0; i < 4; i++ {
+				k.Spawn("p", 1, 0, func(env *kernel.Env) {
+					for {
+						env.Acquire(l)
+						env.Compute(10 * sim.Microsecond)
+						env.Release(l)
+						env.Compute(10 * sim.Microsecond)
+					}
+				})
+			}
+			b.ResetTimer()
+			target := int64(b.N)
+			for l.Acquires < target {
+				eng.Run(eng.Now().Add(10 * sim.Millisecond))
+			}
+			b.StopTimer()
+			k.Shutdown()
+		}},
+		// TraceRecord is one recorded virtual second of the Fig4-style
+		// mix (matmul + fft + background, control on): the cost of the
+		// recorder's JSONL encoding on top of the simulation.
+		{name: "TraceRecord", extra: wall, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o := experiments.Options{Seed: 1, Seeds: 1}
+				s := experiments.NewSim(o, true)
+				rec := trace.NewRecorder(s.K, io.Discard, trace.Meta{Seed: 1, Control: true})
+				cfg := threads.Config{Procs: 12}
+				if s.Server != nil {
+					cfg.Controller = s.Server
+				}
+				threads.Launch(s.K, kernel.AppID(1), apps.PaperMatmul(), cfg)
+				threads.Launch(s.K, kernel.AppID(2), apps.PaperFFT(), cfg)
+				apps.Background(s.K, 2, 20*sim.Millisecond, 30*sim.Millisecond)
+				s.Eng.Run(sim.Time(sim.Second))
+				s.K.Finalize()
+				if err := rec.Close(); err != nil {
+					b.Fatal(err)
+				}
+				s.K.Shutdown()
+			}
+		}},
+		// Fig4 is the end-to-end evaluation run: the staggered
+		// three-application mix, with and without process control.
+		{name: "Fig4", extra: wall, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				experiments.Fig4(experiments.Options{Seed: 1, Seeds: 1}, nil)
+			}
+		}},
+	}
+}

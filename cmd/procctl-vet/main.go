@@ -1,18 +1,28 @@
 // Command procctl-vet runs this repository's custom static-analysis
-// pass: the determinism and lock-discipline analyzers in
-// internal/analysis. The simulator's experimental claims hold only if
-// identical seeds yield identical schedules; procctl-vet enforces the
-// invariants behind that statically, in CI.
+// pass: the determinism, lock-discipline, and interprocedural analyzers
+// in internal/analysis. The simulator's experimental claims hold only
+// if identical seeds yield identical schedules, and the runtime's
+// scalability claims hold only if no lock is held across blocking work;
+// procctl-vet enforces the invariants behind both statically, in CI.
 //
 // Usage:
 //
-//	procctl-vet [-list] [pattern ...]
+//	procctl-vet [-list] [-format text|sarif] [pattern ...]
 //
 // Patterns are package directories relative to the module root
 // ("./...", "./internal/sim", "internal/kernel/..."); the default is
 // "./...". Exit code 0 means no findings, 1 means findings were
 // reported, 2 means the analysis itself failed (bad pattern, code that
 // does not type-check).
+//
+// The per-package analyzers (nondeterminism, maporder, lockdiscipline,
+// ctxleak) run over each requested package; the whole-program analyzers
+// (lockorder, blockinglocked, simpurity) run once over the call graph
+// of every package loaded — including packages pulled in as imports of
+// the requested set.
+//
+// -format sarif writes SARIF 2.1.0 to stdout for GitHub code scanning;
+// the exit-code contract is unchanged.
 //
 // Findings are suppressed line-by-line with a justified pragma:
 //
@@ -33,15 +43,23 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and the exemption policy, then exit")
+	format := flag.String("format", "text", "output format: text or sarif")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: procctl-vet [-list] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: procctl-vet [-list] [-format text|sarif] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *format != "text" && *format != "sarif" {
+		fatal(fmt.Errorf("unknown -format %q (want text or sarif)", *format))
+	}
 
 	if *list {
-		fmt.Println("procctl-vet analyzers:")
-		for _, az := range analysis.All() {
+		fmt.Println("procctl-vet analyzers (per-package):")
+		for _, az := range analysis.PackageAnalyzers(analysis.All()) {
+			fmt.Printf("\n  %s (pragma: //procctl:allow-%s <reason>)\n    %s\n", az.Name, az.Pragma, az.Doc)
+		}
+		fmt.Println("\nprocctl-vet analyzers (whole-program, call-graph):")
+		for _, az := range analysis.ProgramAnalyzers(analysis.All()) {
 			fmt.Printf("\n  %s (pragma: //procctl:allow-%s <reason>)\n    %s\n", az.Name, az.Pragma, az.Doc)
 		}
 		fmt.Println("\nDeterminism scope (identical seed must imply identical schedule):")
@@ -53,8 +71,10 @@ func main() {
 		fmt.Println("                      (cmd/procctl-sim times each experiment with time.Now;")
 		fmt.Println("                      nothing in cmd/ feeds back into simulation state)")
 		fmt.Println("  internal/runtime/*  real concurrency by design; guarded by lockdiscipline,")
-		fmt.Println("                      ctxleak, and `go test -race ./internal/runtime/...`")
-		fmt.Println("  internal/trace      post-hoc analysis; maporder still applies")
+		fmt.Println("                      ctxleak, lockorder, blockinglocked, and")
+		fmt.Println("                      `go test -race ./internal/runtime/...`")
+		fmt.Println("  internal/trace      post-hoc analysis; maporder still applies, and simpurity")
+		fmt.Println("                      rejects sim-side paths into any wall-clock use here")
 		return
 	}
 
@@ -80,19 +100,30 @@ func main() {
 		fatal(err)
 	}
 
-	nfindings := 0
+	var findings []analysis.Finding
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fatal(err)
 		}
-		for _, f := range analysis.RunAnalyzers(pkg, analysis.All()) {
+		findings = append(findings, analysis.RunAnalyzers(pkg, analysis.All())...)
+	}
+	// Whole-program passes over everything the loader has seen (the
+	// requested packages plus their module-local imports).
+	findings = append(findings, analysis.RunProgramAnalyzers(loader.Fset, loader.Loaded(), analysis.All())...)
+
+	switch *format {
+	case "sarif":
+		if err := analysis.WriteSARIF(os.Stdout, root, analysis.All(), findings); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, f := range findings {
 			fmt.Println(f)
-			nfindings++
 		}
 	}
-	if nfindings > 0 {
-		fmt.Fprintf(os.Stderr, "procctl-vet: %d finding(s) in %d package(s) examined\n", nfindings, len(paths))
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "procctl-vet: %d finding(s) in %d package(s) examined\n", len(findings), len(paths))
 		os.Exit(1)
 	}
 }

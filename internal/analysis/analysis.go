@@ -57,7 +57,8 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one static check.
+// Analyzer is one static check. Exactly one of Run (per-package) or
+// RunProgram (whole-program, interprocedural) is set.
 type Analyzer struct {
 	// Name identifies the analyzer in findings and in -list output.
 	Name string
@@ -68,11 +69,40 @@ type Analyzer struct {
 	Pragma string
 	// Run inspects the pass's package and reports findings.
 	Run func(*Pass)
+	// RunProgram inspects a whole-program call graph and reports
+	// findings. Program analyzers see every loaded package at once and
+	// may attach multi-hop call chains to diagnostics.
+	RunProgram func(*ProgramPass)
 }
 
-// All returns every analyzer in presentation order.
+// All returns every analyzer in presentation order: the per-package
+// passes first, then the interprocedural (call-graph) passes.
 func All() []*Analyzer {
-	return []*Analyzer{Nondeterminism, MapOrder, LockDiscipline, CtxLeak}
+	return []*Analyzer{Nondeterminism, MapOrder, LockDiscipline, CtxLeak, LockOrder, BlockingLocked, SimPurity}
+}
+
+// PackageAnalyzers returns the subset of analyzers that run one package
+// at a time.
+func PackageAnalyzers(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	for _, az := range analyzers {
+		if az.Run != nil {
+			out = append(out, az)
+		}
+	}
+	return out
+}
+
+// ProgramAnalyzers returns the subset of analyzers that need the whole
+// program.
+func ProgramAnalyzers(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	for _, az := range analyzers {
+		if az.RunProgram != nil {
+			out = append(out, az)
+		}
+	}
+	return out
 }
 
 // SimPackages lists the module-relative package prefixes whose behaviour
@@ -161,13 +191,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // pkgNameOf resolves an identifier to the imported package it names, or
 // nil if it is not a package qualifier.
-func (p *Pass) pkgNameOf(id *ast.Ident) *types.Package {
-	if obj, ok := p.Info.Uses[id]; ok {
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.Package {
+	if obj, ok := info.Uses[id]; ok {
 		if pn, ok := obj.(*types.PkgName); ok {
 			return pn.Imported()
 		}
 	}
 	return nil
+}
+
+func (p *Pass) pkgNameOf(id *ast.Ident) *types.Package {
+	return pkgNameOf(p.Info, id)
 }
 
 // isPkgFunc reports whether call is pkgPath.<one of names>(...).
@@ -259,7 +293,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
 			}
 		}
 	}
-	for _, az := range analyzers {
+	for _, az := range PackageAnalyzers(analyzers) {
 		pass := &Pass{
 			Analyzer:  az,
 			Fset:      pkg.Fset,
@@ -274,6 +308,11 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
 		az.Run(pass)
 		out = append(out, pass.findings...)
 	}
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -285,7 +324,60 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Finding {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
+}
+
+// ProgramPass is one program analyzer's run over a whole-program call
+// graph. Suppression pragmas from every package in the program apply.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	pragmas  pragmaIndex
+	findings []Finding
+}
+
+// Reportf records a finding at pos unless a matching suppression pragma
+// covers that line in any loaded package.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Prog.Fset.Position(pos)
+	if p.pragmas.suppresses(p.Analyzer.Pragma, position) {
+		return
+	}
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunProgramAnalyzers builds one call graph over pkgs and runs every
+// program analyzer in analyzers over it, returning findings sorted by
+// position. (Reasonless-pragma findings are reported by RunAnalyzers,
+// which the driver always runs per package; they are not duplicated
+// here.)
+func RunProgramAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	program := ProgramAnalyzers(analyzers)
+	if len(program) == 0 {
+		return nil
+	}
+	prog := NewProgram(fset, pkgs)
+	pragmas := make(pragmaIndex)
+	for _, pkg := range prog.Pkgs {
+		for file, byLine := range collectPragmas(pkg.Fset, pkg.Files) {
+			pragmas[file] = byLine
+		}
+	}
+	var out []Finding
+	for _, az := range program {
+		pass := &ProgramPass{Analyzer: az, Prog: prog, pragmas: pragmas}
+		az.RunProgram(pass)
+		out = append(out, pass.findings...)
+	}
+	sortFindings(out)
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // The fixture loader is shared so the stdlib is type-checked once per
@@ -93,6 +94,66 @@ func checkFixture(t *testing.T, pkg *Package) {
 	}
 }
 
+// checkProgramFixture builds one whole-program call graph over the
+// given fixture packages, runs the interprocedural analyzers, and
+// matches findings against `// want "substring"` comments in any of the
+// packages, both directions.
+func checkProgramFixture(t *testing.T, pkgs []*Package) []Finding {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants[key{pos.Filename, pos.Line}] = m[1]
+				}
+			}
+		}
+	}
+	findings := RunProgramAnalyzers(pkgs[0].Fset, pkgs, All())
+	matched := make(map[key]bool)
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		want, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("finding at %s:%d = %q, want substring %q", k.file, k.line, f.Message, want)
+		}
+		matched[k] = true
+	}
+	for k, want := range wants {
+		if !matched[k] {
+			t.Errorf("missing finding at %s:%d matching %q", filepath.Base(k.file), k.line, want)
+		}
+	}
+	return findings
+}
+
+// requireMultiHop asserts at least one finding carries a call chain of
+// two or more hops — the proof that the diagnostic crossed a function
+// boundary, not just a line.
+func requireMultiHop(t *testing.T, findings []Finding) {
+	t.Helper()
+	for _, f := range findings {
+		if strings.Count(f.Message, "→") >= 2 {
+			return
+		}
+	}
+	t.Errorf("no finding carries a multi-hop call chain; got %v", findings)
+}
+
 func TestNondeterminismFixtures(t *testing.T) {
 	checkFixture(t, loadFixture(t, "nondet/bad", "procctl/internal/sim/nondetbad"))
 	checkFixture(t, loadFixture(t, "nondet/good", "procctl/internal/sim/nondetgood"))
@@ -111,6 +172,85 @@ func TestLockDisciplineFixtures(t *testing.T) {
 func TestCtxLeakFixtures(t *testing.T) {
 	checkFixture(t, loadFixture(t, "ctxleak/bad", "procctl/internal/runtime/leakbad"))
 	checkFixture(t, loadFixture(t, "ctxleak/good", "procctl/internal/runtime/leakgood"))
+}
+
+func TestLockOrderFixtures(t *testing.T) {
+	bad := loadFixture(t, "lockorder/bad", "procctl/internal/runtime/lockorderbad")
+	findings := checkProgramFixture(t, []*Package{bad})
+	requireMultiHop(t, findings)
+	good := loadFixture(t, "lockorder/good", "procctl/internal/runtime/lockordergood")
+	checkProgramFixture(t, []*Package{good})
+}
+
+func TestBlockingLockedFixtures(t *testing.T) {
+	bad := loadFixture(t, "blockinglocked/bad", "procctl/internal/runtime/blockbad")
+	findings := checkProgramFixture(t, []*Package{bad})
+	requireMultiHop(t, findings)
+	good := loadFixture(t, "blockinglocked/good", "procctl/internal/runtime/blockgood")
+	checkProgramFixture(t, []*Package{good})
+}
+
+func TestSimPurityFixtures(t *testing.T) {
+	l := sharedLoader(t)
+	bad := loadFixture(t, "simpurity/bad", "procctl/internal/sim/puritybad")
+	badHelper, err := l.Load("procctl/internal/analysis/testdata/src/simpurity/bad/helper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := checkProgramFixture(t, []*Package{bad, badHelper})
+	requireMultiHop(t, findings)
+
+	good := loadFixture(t, "simpurity/good", "procctl/internal/sim/puritygood")
+	goodHelper, err := l.Load("procctl/internal/analysis/testdata/src/simpurity/good/helper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProgramFixture(t, []*Package{good, goodHelper})
+}
+
+// TestAllAnalyzers pins the analyzer roster: seven analyzers, distinct
+// names and pragmas, each documented, split four per-package and three
+// whole-program.
+func TestAllAnalyzers(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("All() has %d analyzers, want 7", len(all))
+	}
+	names := make(map[string]bool)
+	for _, az := range all {
+		if az.Name == "" || az.Doc == "" || az.Pragma == "" {
+			t.Errorf("analyzer %+v missing name, doc, or pragma", az)
+		}
+		if names[az.Name] {
+			t.Errorf("duplicate analyzer name %q", az.Name)
+		}
+		names[az.Name] = true
+		if (az.Run == nil) == (az.RunProgram == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run/RunProgram", az.Name)
+		}
+	}
+	if got := len(PackageAnalyzers(all)); got != 4 {
+		t.Errorf("PackageAnalyzers = %d, want 4", got)
+	}
+	if got := len(ProgramAnalyzers(all)); got != 3 {
+		t.Errorf("ProgramAnalyzers = %d, want 3", got)
+	}
+}
+
+// TestVetSelfCheck runs the full analyzer suite over internal/analysis
+// itself: the analysis code must satisfy its own rules.
+func TestVetSelfCheck(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.Load(l.ModulePath + "/internal/analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range RunAnalyzers(pkg, All()) {
+		t.Errorf("per-package: %s", f)
+	}
+	for _, f := range RunProgramAnalyzers(l.Fset, []*Package{pkg}, All()) {
+		t.Errorf("program: %s", f)
+	}
 }
 
 // TestPragmaNeedsReason asserts that a reasonless pragma is itself a
@@ -150,6 +290,60 @@ func TestRepoIsClean(t *testing.T) {
 		for _, f := range RunAnalyzers(pkg, All()) {
 			t.Errorf("%s", f)
 		}
+	}
+	// Whole-program pass over the same universe. The shared loader may
+	// also hold fixture packages from other tests; exclude testdata so
+	// deliberate fixture bugs do not fail the repo gate.
+	var pkgs []*Package
+	for _, p := range l.Loaded() {
+		if strings.Contains(p.Dir, string(filepath.Separator)+"testdata"+string(filepath.Separator)) {
+			continue
+		}
+		pkgs = append(pkgs, p)
+	}
+	for _, f := range RunProgramAnalyzers(l.Fset, pkgs, All()) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestVetTimingBudget guards make check latency: a cold full-module
+// run of every analyzer — parse, type-check (stdlib from source),
+// per-package passes, call graph, interprocedural passes — must stay
+// within the budget, so the interprocedural upgrade never makes the
+// tier-1 gate painful. The budget is generous (CI machines are slow);
+// the point is catching accidental blow-ups (e.g. losing summary
+// memoization turns the pass exponential), not micro-regressions.
+func TestVetTimingBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis in -short mode")
+	}
+	const budget = 90 * time.Second
+	start := time.Now()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root) // cold loader: includes type-check cost
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(RunAnalyzers(pkg, All()))
+	}
+	n += len(RunProgramAnalyzers(l.Fset, l.Loaded(), All()))
+	elapsed := time.Since(start)
+	t.Logf("full vet pass: %d packages, %d findings in %v", len(paths), n, elapsed)
+	if elapsed > budget {
+		t.Fatalf("full vet pass took %v, over the %v budget", elapsed, budget)
 	}
 }
 

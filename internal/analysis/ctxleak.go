@@ -6,49 +6,105 @@ import (
 	"strings"
 )
 
-// CtxLeak flags `go func` literals in non-cmd packages whose body shows
+// CtxLeak flags goroutine spawns in non-main packages whose body shows
 // no completion signal: no WaitGroup Done, no channel operation, no
 // select, no context use. Such a goroutine cannot be joined, so Close
 // and Shutdown paths cannot prove it has stopped — the test process (or
-// a production server draining for restart) leaks it. Named-function
-// spawns (`go s.handle(conn)`) are not examined: the callee owns its own
-// join discipline. Suppress deliberate fire-and-forget goroutines with
-// //procctl:allow-ctxleak <reason>.
+// a production server draining for restart) leaks it. Both `go func`
+// literals and same-package named-function/method spawns
+// (`go s.handle(conn)`) are examined — the latter one call level deep,
+// against the callee's body. Mutex Lock/Unlock is deliberately NOT
+// evidence: unlocking a mutex publishes state but lets no one wait for
+// the goroutine to finish. Suppress deliberate fire-and-forget
+// goroutines with //procctl:allow-ctxleak <reason>.
 var CtxLeak = &Analyzer{
 	Name:   "ctxleak",
 	Pragma: "ctxleak",
-	Doc: "flag go-func literals outside cmd/ with no visible join (WaitGroup/channel/select/context): " +
+	Doc: "flag goroutine spawns outside main packages with no visible join (WaitGroup/channel/select/" +
+		"context) — go-func literals and same-package named spawns alike; mutex unlock is not a join: " +
 		"unjoinable goroutines leak past Close/Shutdown",
 	Run: runCtxLeak,
 }
 
 func runCtxLeak(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return // binaries (cmd/, examples/) may spawn process-lifetime goroutines
+	}
 	if rel := relPath(pass.Path); strings.HasPrefix(rel, "cmd/") || strings.Contains(pass.Path, "/cmd/") {
 		return // cmd binaries may spawn process-lifetime goroutines
 	}
+	decls := localFuncDecls(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
 			if !ok {
 				return true
 			}
-			lit, ok := gs.Call.Fun.(*ast.FuncLit)
-			if !ok {
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				if !hasJoinEvidence(pass, lit.Body) {
+					pass.Reportf(gs.Pos(), "goroutine has no visible completion signal (WaitGroup Done, channel op, select, or context): it cannot be joined on shutdown")
+				}
 				return true
 			}
-			if !hasJoinEvidence(pass, lit) {
-				pass.Reportf(gs.Pos(), "goroutine has no visible completion signal (WaitGroup Done, channel op, select, or context): it cannot be joined on shutdown")
+			// Named-function or method spawn: examine the callee's body
+			// one level deep when it is defined in this package.
+			if fd, name, ok := spawnTarget(pass, decls, gs.Call); ok {
+				if !hasJoinEvidence(pass, fd.Body) {
+					pass.Reportf(gs.Pos(), "goroutine %s has no visible completion signal (WaitGroup Done, channel op, select, or context) in its body: it cannot be joined on shutdown (a mutex unlock is not a join)", name)
+				}
 			}
 			return true
 		})
 	}
 }
 
+// localFuncDecls indexes this package's function declarations by object.
+func localFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// spawnTarget resolves `go f(...)` / `go s.m(...)` to a function
+// declared in this package.
+func spawnTarget(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) (*ast.FuncDecl, string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, "", false
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || obj.Pkg() != pass.Pkg {
+		return nil, "", false
+	}
+	fd, ok := decls[obj]
+	if !ok {
+		return nil, "", false
+	}
+	return fd, obj.Name(), true
+}
+
 // hasJoinEvidence scans a goroutine body for any coordination primitive
 // that could let another goroutine observe its progress or completion.
-func hasJoinEvidence(pass *Pass, lit *ast.FuncLit) bool {
+// Mutex Lock/Unlock does not qualify: it serializes access to shared
+// state but provides no way to wait for the goroutine.
+func hasJoinEvidence(pass *Pass, body *ast.BlockStmt) bool {
 	found := false
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
@@ -76,6 +132,9 @@ func hasJoinEvidence(pass *Pass, lit *ast.FuncLit) bool {
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
 				switch sel.Sel.Name {
 				case "Done", "Signal", "Broadcast":
+					// sync.Cond Signal/Broadcast and WaitGroup/context
+					// Done are joins; mutex Lock/Unlock (not in this
+					// list) deliberately is not.
 					found = true
 				}
 			}

@@ -149,6 +149,19 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return p, nil
 }
 
+// Loaded returns every module-local package the loader has parsed and
+// type-checked so far — including packages pulled in transitively as
+// imports — sorted by import path. This is the package universe the
+// whole-program analyzers operate on.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // loaderImporter routes module-local imports back into the Loader and
 // everything else to the stdlib source importer.
 type loaderImporter struct{ l *Loader }

@@ -39,18 +39,20 @@ func runMapOrder(pass *Pass) {
 				if !ok {
 					return true
 				}
-				if !isMapType(pass, rng.X) {
+				if !isMapType(pass.Info, rng.X) {
 					return true
 				}
-				checkMapRange(pass, fd, rng)
+				for _, leak := range mapRangeLeaks(pass.Info, fd, rng) {
+					pass.Reportf(leak.pos, "%s", leak.msg)
+				}
 				return true
 			})
 		}
 	}
 }
 
-func isMapType(pass *Pass, x ast.Expr) bool {
-	t := pass.Info.TypeOf(x)
+func isMapType(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(x)
 	if t == nil {
 		return false
 	}
@@ -58,63 +60,79 @@ func isMapType(pass *Pass, x ast.Expr) bool {
 	return ok
 }
 
-// checkMapRange scans one map-range body for order-dependent effects.
-func checkMapRange(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+// mapLeak is one order-dependent effect found inside a map-range body.
+type mapLeak struct {
+	pos token.Pos
+	msg string
+}
+
+// mapRangeLeaks scans one map-range body for order-dependent effects.
+// It is shared by the per-package maporder analyzer and the simpurity
+// call-graph walker (which applies it to map ranges in non-sim packages
+// reachable from simulation code).
+func mapRangeLeaks(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt) []mapLeak {
+	var leaks []mapLeak
+	report := func(pos token.Pos, msg string) {
+		leaks = append(leaks, mapLeak{pos: pos, msg: msg})
+	}
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.RangeStmt:
-			if n != rng && isMapType(pass, n.X) {
+			if n != rng && isMapType(info, n.X) {
 				return false // nested map range is checked on its own
 			}
 		case *ast.AssignStmt:
-			checkMapRangeAssign(pass, fn, rng, n)
+			leaks = append(leaks, mapRangeAssignLeaks(info, fn, rng, n)...)
 		case *ast.SendStmt:
-			pass.Reportf(n.Pos(), "channel send inside map iteration: receive order depends on map order")
+			report(n.Pos(), "channel send inside map iteration: receive order depends on map order")
 		case *ast.ReturnStmt:
 			if len(n.Results) > 0 {
-				pass.Reportf(n.Pos(), "value return inside map iteration: the result depends on which key is visited first")
+				report(n.Pos(), "value return inside map iteration: the result depends on which key is visited first")
 			}
 		case *ast.CallExpr:
-			if name, effectful := effectfulCall(pass, n); effectful {
-				pass.Reportf(n.Pos(), "call to %s inside map iteration: side effects occur in nondeterministic key order (sort the keys first)", name)
+			if name, effectful := effectfulCall(info, n); effectful {
+				report(n.Pos(), "call to "+name+" inside map iteration: side effects occur in nondeterministic key order (sort the keys first)")
 			}
 		}
 		return true
 	})
+	return leaks
 }
 
-// checkMapRangeAssign handles assignment statements in a map-range body:
+// mapRangeAssignLeaks handles assignment statements in a map-range body:
 // appends must be sorted later; += on non-commutative types (strings,
 // slices) is order-dependent.
-func checkMapRangeAssign(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt) {
+func mapRangeAssignLeaks(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt) []mapLeak {
+	var leaks []mapLeak
 	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
-		if t := pass.Info.TypeOf(as.Lhs[0]); t != nil {
+		if t := info.TypeOf(as.Lhs[0]); t != nil {
 			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-				pass.Reportf(as.Pos(), "string concatenation inside map iteration: the result depends on key order")
+				leaks = append(leaks, mapLeak{pos: as.Pos(), msg: "string concatenation inside map iteration: the result depends on key order"})
 			}
 		}
 	}
 	for i, rhs := range as.Rhs {
 		call, ok := rhs.(*ast.CallExpr)
-		if !ok || !isBuiltin(pass, call, "append") || i >= len(as.Lhs) {
+		if !ok || !isBuiltin(info, call, "append") || i >= len(as.Lhs) {
 			continue
 		}
 		target := types.ExprString(as.Lhs[i])
-		if !sortedAfter(pass, fn, rng, target) {
-			pass.Reportf(as.Pos(), "append to %s inside map iteration without sorting afterwards: element order is nondeterministic", target)
+		if !sortedAfter(info, fn, rng, target) {
+			leaks = append(leaks, mapLeak{pos: as.Pos(), msg: "append to " + target + " inside map iteration without sorting afterwards: element order is nondeterministic"})
 		}
 	}
+	return leaks
 }
 
 // effectfulCall reports whether a call inside a map range can carry the
 // iteration order outward. Pure builtins, conversions, and append
 // (handled separately, with the sort check) do not count.
-func effectfulCall(pass *Pass, call *ast.CallExpr) (string, bool) {
-	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+func effectfulCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
 		return "", false // type conversion
 	}
 	if id, ok := call.Fun.(*ast.Ident); ok {
-		if obj, ok := pass.Info.Uses[id]; ok {
+		if obj, ok := info.Uses[id]; ok {
 			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
 				switch id.Name {
 				case "len", "cap", "append", "delete", "min", "max", "make", "new", "copy":
@@ -131,12 +149,12 @@ func effectfulCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 	return types.ExprString(call.Fun), true
 }
 
-func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	obj, ok := pass.Info.Uses[id]
+	obj, ok := info.Uses[id]
 	if !ok {
 		return false
 	}
@@ -146,7 +164,7 @@ func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
 
 // sortedAfter reports whether, later in fn than the range loop, target
 // is passed to a sort.* or slices.* call — the collect-then-sort idiom.
-func sortedAfter(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, target string) bool {
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, target string) bool {
 	found := false
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		if found {
@@ -164,7 +182,7 @@ func sortedAfter(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, target string
 		if !ok {
 			return true
 		}
-		pkg := pass.pkgNameOf(id)
+		pkg := pkgNameOf(info, id)
 		if pkg == nil || (pkg.Path() != "sort" && pkg.Path() != "slices") {
 			return true
 		}

@@ -1,0 +1,121 @@
+package analysis
+
+// SARIF 2.1.0 output, the interchange format GitHub code scanning
+// ingests. One run, one driver ("procctl-vet"), one rule per analyzer,
+// one result per finding. Only the subset of the schema that code
+// scanning actually reads is emitted.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF encodes findings as a SARIF 2.1.0 log. File paths are
+// made moduleDir-relative (with forward slashes) so the artifact
+// matches the repository layout GitHub annotates.
+func WriteSARIF(w io.Writer, moduleDir string, analyzers []*Analyzer, findings []Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, az := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               az.Name,
+			ShortDescription: sarifMessage{Text: az.Name},
+			FullDescription:  sarifMessage{Text: az.Doc},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "pragma",
+		ShortDescription: sarifMessage{Text: "pragma"},
+		FullDescription:  sarifMessage{Text: "a //procctl:allow-* pragma without a written justification"},
+	})
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Pos.Filename
+		if moduleDir != "" {
+			if rel, err := filepath.Rel(moduleDir, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "procctl-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import "sort"
+
+// simpurity: reachability from the deterministic simulation entry
+// points to nondeterminism that lives OUTSIDE the sim scope. The
+// per-package nondeterminism/maporder analyzers police the sim packages
+// themselves; what they cannot see is a sim package calling into a
+// helper package that is individually allowed to use the wall clock
+// (internal/trace is post-hoc tooling, for example) — through that call
+// the nondeterminism flows back into the simulation. This pass walks
+// the call graph from every function in the sim entry packages, stops
+// at the first call that crosses out of the sim scope, and reports any
+// wall-clock read, global math/rand use, goroutine spawn, or map-order
+// leak reachable from there, with the full call chain as evidence.
+
+// simPurityRoots are the deterministic entry-point packages: everything
+// here must be a pure function of the experiment seed.
+var simPurityRoots = []string{
+	"internal/sim",
+	"internal/kernel",
+	"internal/machine",
+	"internal/threads",
+	"internal/experiments",
+}
+
+func isSimPurityRoot(importPath string) bool { return underAny(importPath, simPurityRoots) }
+
+var SimPurity = &Analyzer{
+	Name: "simpurity",
+	Doc: "Whole-program reachability from the deterministic simulation entry " +
+		"points (internal/sim, internal/kernel, internal/machine, " +
+		"internal/threads, internal/experiments) to nondeterminism in " +
+		"non-simulation module code: time.Now and friends, process-global " +
+		"math/rand, goroutine spawns, and unsorted map iteration that leaks " +
+		"order. The per-package nondeterminism/maporder analyzers already " +
+		"police the sim packages themselves; this pass catches determinism " +
+		"escaping through calls into packages that are individually exempt. " +
+		"Diagnostics carry the call chain from the sim-side call site to the " +
+		"impure operation. Suppress with //procctl:allow-simpurity <reason> " +
+		"at the sim-side call site.",
+	Pragma:     "simpurity",
+	RunProgram: runSimPurity,
+}
+
+func runSimPurity(pass *ProgramPass) {
+	prog := pass.Prog
+	for _, root := range prog.Funcs() {
+		if !isSimPurityRoot(root.Pkg.Path) {
+			continue
+		}
+		sums := append([]*summary{prog.Summary(root)}, prog.Summary(root).literals...)
+		for _, s := range sums {
+			for _, cs := range s.calls {
+				for _, t := range cs.targets {
+					// Calls that stay inside the sim scope are policed by
+					// the per-package analyzers (with their own pragmas);
+					// only the frontier crossing is this pass's business.
+					if IsSimPath(t.Pkg.Path) {
+						continue
+					}
+					for _, w := range sortedImpureWitnesses(prog.transImpure(prog.Summary(t))) {
+						chain := append([]chainStep{
+							{fn: s.name + " calls " + cs.desc, pos: prog.Fset.Position(cs.pos)},
+						}, w.chain...)
+						pass.Reportf(cs.pos, "sim code reaches %s (%s) through non-sim package %s: %s",
+							w.desc, w.kind, t.Pkg.Path, prog.chainString(chain))
+					}
+				}
+			}
+		}
+	}
+}
+
+func sortedImpureWitnesses(m map[string]*impureWitness) []*impureWitness {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*impureWitness, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}

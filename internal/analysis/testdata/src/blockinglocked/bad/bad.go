@@ -1,0 +1,59 @@
+// Package bad holds mutexes across blocking operations: directly, one
+// call level down, and through open-ended interface dispatch.
+package bad
+
+import "sync"
+
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// SendLocked blocks on a channel send with the lock held.
+func (q *Q) SendLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- 1 // want "channel send while holding"
+}
+
+// SelectLocked parks in a select (no default) with the lock held.
+func (q *Q) SelectLocked() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want "select while holding"
+	case v := <-q.ch:
+		_ = v
+	}
+}
+
+// WaitDeep blocks two calls down: only the call graph sees it.
+func (q *Q) WaitDeep() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.drain() // want "reachable while holding"
+}
+
+func (q *Q) drain() {
+	q.recvOne()
+}
+
+func (q *Q) recvOne() {
+	<-q.ch
+}
+
+// Notifier is a module-defined interface: a call to it under a lock
+// dispatches to an open-ended callee set.
+type Notifier interface {
+	Notify(v int)
+}
+
+type Hub struct {
+	mu sync.Mutex
+	n  Notifier
+}
+
+func (h *Hub) Publish(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.n.Notify(v) // want "interface method Notifier.Notify"
+}

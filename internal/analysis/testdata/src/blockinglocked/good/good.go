@@ -1,0 +1,62 @@
+// Package good keeps blocking work outside critical sections: Cond.Wait
+// (which releases the mutex — the exemption), select with a default
+// (non-blocking poll), and the copy-then-unlock pattern.
+package good
+
+import "sync"
+
+type Q struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	vals []int
+}
+
+func New() *Q {
+	q := &Q{ch: make(chan int, 1)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// WaitForWork parks on the condition variable, which atomically
+// releases q.mu while waiting: the exempt pattern.
+func (q *Q) WaitForWork() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.vals) == 0 {
+		q.cond.Wait()
+	}
+	v := q.vals[0]
+	q.vals = q.vals[1:]
+	return v
+}
+
+// TryNotify polls the channel without blocking: default case.
+func (q *Q) TryNotify() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// Flush copies under the lock and sends after releasing it.
+func (q *Q) Flush() {
+	q.mu.Lock()
+	vals := append([]int(nil), q.vals...)
+	q.vals = nil
+	q.mu.Unlock()
+	for _, v := range vals {
+		q.ch <- v
+	}
+}
+
+func (q *Q) Push(v int) {
+	q.mu.Lock()
+	q.vals = append(q.vals, v)
+	q.mu.Unlock()
+	q.cond.Signal()
+}

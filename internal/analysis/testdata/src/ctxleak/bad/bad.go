@@ -1,5 +1,9 @@
-// Package bad spawns an unjoinable goroutine.
+// Package bad spawns unjoinable goroutines: a bare literal, and a named
+// function whose only "signal" is a mutex unlock — which publishes state
+// but gives no one a way to wait for the goroutine to finish.
 package bad
+
+import "sync"
 
 var sink int
 
@@ -9,4 +13,21 @@ func Leak() {
 			sink += i
 		}
 	}()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump's mutex Lock/Unlock is not a join: no other goroutine can tell
+// when bump has finished, only that its effects are serialized.
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func LeakNamed(c *counter) {
+	go c.bump() // want "no visible completion signal"
 }

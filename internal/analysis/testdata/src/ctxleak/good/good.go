@@ -1,6 +1,6 @@
 // Package good spawns goroutines with visible joins: WaitGroup,
-// channel, context, and the named-function form (whose callee owns its
-// own join discipline).
+// channel, context, and the named-function form whose body carries its
+// own join evidence (examined one call level deep).
 package good
 
 import (
@@ -34,10 +34,20 @@ func WithContext(ctx context.Context) {
 	}()
 }
 
-func run() {}
+type server struct {
+	wg   sync.WaitGroup
+	work chan int
+}
 
-// Named spawns a named function, which is out of scope for the
-// literal-only heuristic.
-func Named() {
-	go run()
+// run carries its own join discipline: the WaitGroup Done is visible in
+// its body, so the named spawn below is fine.
+func (s *server) run() {
+	defer s.wg.Done()
+	for range s.work {
+	}
+}
+
+func (s *server) Start() {
+	s.wg.Add(1)
+	go s.run()
 }

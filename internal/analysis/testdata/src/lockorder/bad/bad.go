@@ -1,0 +1,50 @@
+// Package bad acquires two locks in opposite orders — one side through
+// a call, so only the interprocedural pass can see the cycle — and
+// re-acquires a held lock through a callee (self-deadlock).
+package bad
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type Pair struct {
+	a A
+	b B
+}
+
+// LockAB takes A then (inside lockB) B: edge A→B, two hops deep.
+func (p *Pair) LockAB() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.lockB() // want "lock-order cycle"
+}
+
+func (p *Pair) lockB() {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+}
+
+// LockBA takes B then A directly: edge B→A, closing the cycle.
+func (p *Pair) LockBA() {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+}
+
+type R struct{ mu sync.Mutex }
+
+// Outer holds r.mu and calls inner, which locks it again: sync mutexes
+// are not reentrant, so this deadlocks the calling goroutine.
+func (r *R) Outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inner() // want "re-acquires"
+}
+
+func (r *R) inner() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}

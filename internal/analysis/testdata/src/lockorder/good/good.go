@@ -1,0 +1,41 @@
+// Package good acquires the same two locks always in the same order —
+// directly and through a call — so the lock graph has no cycle.
+package good
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type Pair struct {
+	a A
+	b B
+}
+
+func (p *Pair) First() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.lockB()
+}
+
+func (p *Pair) lockB() {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+}
+
+// Second repeats the A→B order inline; same-direction edges are fine.
+func (p *Pair) Second() {
+	p.a.mu.Lock()
+	p.b.mu.Lock()
+	p.b.mu.Unlock()
+	p.a.mu.Unlock()
+}
+
+// Independent touches only one lock per critical section.
+func (p *Pair) Independent() {
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+	p.b.mu.Lock()
+	p.b.mu.Unlock()
+}

@@ -1,0 +1,22 @@
+// Package bad is loaded under a sim import path; every call below
+// crosses the sim frontier into the helper package, through which
+// nondeterminism flows back into the simulation.
+package bad
+
+import "procctl/internal/analysis/testdata/src/simpurity/bad/helper"
+
+func Run() int64 {
+	return helper.Stamp() // want "time.Now"
+}
+
+func Seeded() int64 {
+	return helper.Jitter() // want "math/rand"
+}
+
+func Par(f func()) {
+	helper.Spawn(f) // want "goroutine"
+}
+
+func Keys(m map[string]string) []string {
+	return helper.Labels(m) // want "map iteration"
+}

@@ -1,0 +1,39 @@
+// Package helper is deliberately OUTSIDE the simulation scope (its real
+// import path lives under internal/analysis/testdata), so the
+// per-package nondeterminism analyzer ignores it — the simpurity pass
+// must catch sim code reaching it.
+package helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock, one call deeper so the evidence chain
+// must cross two function boundaries.
+func Stamp() int64 {
+	return now()
+}
+
+func now() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the process-global math/rand source.
+func Jitter() int64 {
+	return rand.Int63()
+}
+
+// Spawn starts an untracked goroutine.
+func Spawn(f func()) {
+	go f()
+}
+
+// Labels leaks map-iteration order into its result.
+func Labels(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package good is loaded under a sim import path and calls only
+// deterministic non-sim helpers: no findings.
+package good
+
+import "procctl/internal/analysis/testdata/src/simpurity/good/helper"
+
+func Run(xs []int) int {
+	return helper.Sum(xs)
+}
+
+func Keys(m map[string]bool) []string {
+	return helper.SortedKeys(m)
+}

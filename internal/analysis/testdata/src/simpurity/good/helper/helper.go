@@ -1,0 +1,25 @@
+// Package helper is outside the simulation scope but deterministic, so
+// sim code may call it freely.
+package helper
+
+import "sort"
+
+// Sum is a pure fold.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// SortedKeys iterates a map but sorts before returning: order cannot
+// leak.
+func SortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -4,6 +4,14 @@
 // policy in internal/core, pushing targets to in-process members and
 // serving polled targets to remote ones over a JSON-lines socket
 // protocol — the modern analogue of the paper's UMAX socket IPC.
+//
+// Locking discipline: c.mu guards only the membership table and the
+// scalar settings. Every Member interface call (Name at registration
+// aside) — Workers, Backlog, SetTarget — happens OUTSIDE the critical
+// section, on an immutable snapshot taken under the lock. Members are
+// arbitrary application code; calling them while holding c.mu would
+// make the coordinator's critical section as slow as its slowest
+// member, the convoy pattern the blockinglocked analyzer rejects.
 package coordinator
 
 import (
@@ -19,12 +27,22 @@ import (
 // Member is a controllable application: anything that can accept a
 // runnable-worker target. *pool.Pool implements it.
 type Member interface {
-	// Name identifies the member (unique within a coordinator).
+	// Name identifies the member (unique within a coordinator). It is
+	// read once, at registration, and must not change afterwards.
 	Name() string
 	// Workers is the member's process count — the cap on its target.
 	Workers() int
 	// SetTarget tells the member how many workers it may run.
 	SetTarget(n int)
+}
+
+// entry is one registered member with everything the coordinator reads
+// under its lock cached at registration time, so no Member method runs
+// inside a critical section.
+type entry struct {
+	m      Member
+	name   string
+	weight int
 }
 
 // Coordinator allocates capacity among members. All methods are safe
@@ -33,12 +51,20 @@ type Coordinator struct {
 	mu        sync.Mutex
 	capacity  int
 	external  int // uncontrollable load (processors consumed elsewhere)
-	members   []Member
-	weights   map[string]int
+	entries   []entry
 	loadAware bool
 
 	rebalances int64
 	met        coordMetrics
+}
+
+// snapshot is an immutable copy of the allocation inputs, taken under
+// c.mu and consumed outside it.
+type snapshot struct {
+	entries   []entry
+	capacity  int
+	external  int
+	loadAware bool
 }
 
 // coordMetrics is the coordinator's slice of a metrics registry. The
@@ -65,11 +91,11 @@ func New(capacity int) *Coordinator {
 	if capacity <= 0 {
 		capacity = runtime.GOMAXPROCS(0)
 	}
-	c := &Coordinator{capacity: capacity, weights: make(map[string]int)}
+	c := &Coordinator{capacity: capacity}
 	c.met = newCoordMetrics(metrics.NewRegistry())
 	c.met.reg.OnCollect(func() {
 		c.mu.Lock()
-		members, capacity, external := len(c.members), c.capacity, c.external
+		members, capacity, external := len(c.entries), c.capacity, c.external
 		c.mu.Unlock()
 		c.met.reg.Gauge("coordinator_members", "registered controllable applications").Set(int64(members))
 		c.met.reg.Gauge("coordinator_capacity", "processors under management").Set(int64(capacity))
@@ -103,8 +129,9 @@ func (c *Coordinator) SetCapacity(n int) error {
 	}
 	c.mu.Lock()
 	c.capacity = n
-	c.rebalanceLocked()
+	snap := c.snapshotLocked()
 	c.mu.Unlock()
+	c.notify(snap)
 	return nil
 }
 
@@ -117,8 +144,9 @@ func (c *Coordinator) SetExternalLoad(n int) {
 	}
 	c.mu.Lock()
 	c.external = n
-	c.rebalanceLocked()
+	snap := c.snapshotLocked()
 	c.mu.Unlock()
+	c.notify(snap)
 }
 
 // ExternalLoad returns the current uncontrollable-load estimate.
@@ -140,40 +168,64 @@ func (c *Coordinator) RegisterWeighted(m Member, weight int) {
 	if weight < 1 {
 		weight = 1
 	}
+	name := m.Name() // interface call before taking the lock
 	c.mu.Lock()
-	c.removeLocked(m.Name())
-	c.members = append(c.members, m)
-	c.weights[m.Name()] = weight
-	c.rebalanceLocked()
+	c.removeLocked(name)
+	c.entries = append(c.entries, entry{m: m, name: name, weight: weight})
+	snap := c.snapshotLocked()
 	c.mu.Unlock()
+	c.notify(snap)
 }
 
 // Unregister removes the named member and redistributes its processors.
 func (c *Coordinator) Unregister(name string) {
 	c.mu.Lock()
-	c.removeLocked(name)
-	c.rebalanceLocked()
+	removed := c.removeLocked(name)
+	snap := c.snapshotLocked()
 	c.mu.Unlock()
+	if removed {
+		c.met.reg.Remove(metrics.Name("coordinator_target", "app", name))
+	}
+	c.notify(snap)
 }
 
-func (c *Coordinator) removeLocked(name string) {
-	for i, m := range c.members {
-		if m.Name() == name {
-			c.members = append(c.members[:i], c.members[i+1:]...)
-			delete(c.weights, name)
-			c.met.reg.Remove(metrics.Name("coordinator_target", "app", name))
-			return
+// removeLocked drops the named entry from the membership table. Callers
+// hold c.mu; the stale per-member gauge is the caller's to remove,
+// outside the lock.
+func (c *Coordinator) removeLocked(name string) bool {
+	for i, e := range c.entries {
+		if e.name == name {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			return true
 		}
 	}
+	return false
+}
+
+// viewLocked copies the allocation inputs. Callers hold c.mu.
+func (c *Coordinator) viewLocked() snapshot {
+	return snapshot{
+		entries:   append([]entry(nil), c.entries...),
+		capacity:  c.capacity,
+		external:  c.external,
+		loadAware: c.loadAware,
+	}
+}
+
+// snapshotLocked is viewLocked plus the rebalance count: use it when
+// the snapshot will be passed to notify after unlocking.
+func (c *Coordinator) snapshotLocked() snapshot {
+	c.rebalances++
+	return c.viewLocked()
 }
 
 // Members returns the registered member names in registration order.
 func (c *Coordinator) Members() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	names := make([]string, len(c.members))
-	for i, m := range c.members {
-		names[i] = m.Name()
+	names := make([]string, len(c.entries))
+	for i, e := range c.entries {
+		names[i] = e.name
 	}
 	return names
 }
@@ -182,8 +234,9 @@ func (c *Coordinator) Members() []string {
 // this automatically; call it after a member's Workers count changes.
 func (c *Coordinator) Rebalance() {
 	c.mu.Lock()
-	c.rebalanceLocked()
+	snap := c.snapshotLocked()
 	c.mu.Unlock()
+	c.notify(snap)
 }
 
 // Rebalances returns how many times targets were recomputed.
@@ -193,34 +246,75 @@ func (c *Coordinator) Rebalances() int64 {
 	return c.rebalances
 }
 
-// Targets returns the most recently pushed target per member name.
+// Targets returns the most recently computed target per member name.
 func (c *Coordinator) Targets() map[string]int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int, len(c.members))
-	alloc := c.allocateLocked()
-	for i, m := range c.members {
-		out[m.Name()] = alloc[i]
+	snap := c.viewLocked()
+	c.mu.Unlock()
+	alloc := c.allocate(snap)
+	out := make(map[string]int, len(snap.entries))
+	for i, e := range snap.entries {
+		out[e.name] = alloc[i]
 	}
 	return out
 }
 
-func (c *Coordinator) allocateLocked() []int {
-	demands := make([]core.Demand, len(c.members))
-	for i, m := range c.members {
-		demands[i] = c.demandOfLocked(m)
-	}
-	return core.Allocate(core.Available(c.capacity, c.external), demands)
+// MemberInfo describes one registered member for status reporting.
+type MemberInfo struct {
+	Name    string
+	Weight  int
+	Workers int
+	Target  int
+	// Member is the registered implementation, for optional-interface
+	// probes (spin sampling). Call it only outside coordinator locks.
+	Member Member
 }
 
-func (c *Coordinator) rebalanceLocked() {
+// MemberInfos returns a consistent status view of the membership: names
+// and weights as registered, live Workers counts, and the target each
+// member would be assigned right now. Member methods run after the
+// coordinator's lock is released.
+func (c *Coordinator) MemberInfos() []MemberInfo {
+	c.mu.Lock()
+	snap := c.viewLocked()
+	c.mu.Unlock()
+	alloc := c.allocate(snap)
+	out := make([]MemberInfo, len(snap.entries))
+	for i, e := range snap.entries {
+		out[i] = MemberInfo{
+			Name:    e.name,
+			Weight:  e.weight,
+			Workers: e.m.Workers(),
+			Target:  alloc[i],
+			Member:  e.m,
+		}
+	}
+	return out
+}
+
+// allocate computes the processor split for a snapshot. It runs outside
+// c.mu: demandOf calls into member code (Workers, Backlog, Executing).
+func (c *Coordinator) allocate(snap snapshot) []int {
+	demands := make([]core.Demand, len(snap.entries))
+	for i, e := range snap.entries {
+		demands[i] = demandOf(e, snap.loadAware)
+	}
+	return core.Allocate(core.Available(snap.capacity, snap.external), demands)
+}
+
+// notify recomputes targets for a snapshot and pushes them to every
+// member in it, entirely outside c.mu. Two concurrent notify calls may
+// interleave their SetTarget pushes, so a member can transiently see
+// the older of two targets; the next rebalance (or the periodic
+// StartAutoRebalance tick) converges it. That transient is the price of
+// never holding the coordinator lock across member code.
+func (c *Coordinator) notify(snap snapshot) {
 	start := time.Now()
-	c.rebalances++
 	c.met.rebalanceCount.Inc()
-	alloc := c.allocateLocked()
-	for i, m := range c.members {
-		m.SetTarget(alloc[i])
-		c.met.reg.Gauge(metrics.Name("coordinator_target", "app", m.Name()), "processors allotted to this member").Set(int64(alloc[i]))
+	alloc := c.allocate(snap)
+	for i, e := range snap.entries {
+		e.m.SetTarget(alloc[i])
+		c.met.reg.Gauge(metrics.Name("coordinator_target", "app", e.name), "processors allotted to this member").Set(int64(alloc[i]))
 	}
 	c.met.rebalanceMicros.Observe(time.Since(start).Microseconds())
 }
@@ -239,18 +333,19 @@ type Loader interface {
 func (c *Coordinator) SetLoadAware(on bool) {
 	c.mu.Lock()
 	c.loadAware = on
-	c.rebalanceLocked()
+	snap := c.snapshotLocked()
 	c.mu.Unlock()
+	c.notify(snap)
 }
 
-// demandOfLocked computes a member's Demand under the current mode.
-// Callers hold c.mu.
-func (c *Coordinator) demandOfLocked(m Member) core.Demand {
-	d := core.Demand{Max: m.Workers(), Weight: c.weights[m.Name()]}
-	if !c.loadAware {
+// demandOf computes a member's Demand. It calls into member code and
+// must therefore never run under c.mu.
+func demandOf(e entry, loadAware bool) core.Demand {
+	d := core.Demand{Max: e.m.Workers(), Weight: e.weight}
+	if !loadAware {
 		return d
 	}
-	if l, ok := m.(Loader); ok {
+	if l, ok := e.m.(Loader); ok {
 		load := l.Backlog() + l.Executing()
 		if load < 1 {
 			load = 1 // keep one worker warm for arrival latency

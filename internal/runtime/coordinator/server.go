@@ -127,6 +127,7 @@ type Server struct {
 	owners map[string]*connState // app name -> owning connection
 	closed bool
 
+	handlers sync.WaitGroup // joins per-connection handler goroutines
 	expiries *metrics.Counter
 }
 
@@ -193,6 +194,9 @@ func (s *Server) Serve() error {
 			return net.ErrClosed
 		}
 		s.conns[conn] = cs
+		// Add inside the critical section that checks closed, so a
+		// concurrent Close cannot Wait between the check and the Add.
+		s.handlers.Add(1)
 		s.mu.Unlock()
 		go s.handle(cs)
 	}
@@ -241,8 +245,9 @@ func (s *Server) sweep(now time.Time) {
 	}
 }
 
-// Close stops the listener and drops every connection (unregistering
-// their applications).
+// Close stops the listener, drops every connection (unregistering
+// their applications), and waits for the handler goroutines to finish
+// their cleanup, so no handler outlives the server.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -255,12 +260,14 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	s.handlers.Wait()
 	return err
 }
 
 // handle serves one connection until it drops (EOF, error, or lease
 // sweep), then unregisters the applications it registered.
 func (s *Server) handle(cs *connState) {
+	defer s.handlers.Done()
 	conn := cs.conn
 	defer func() {
 		conn.Close()
@@ -370,7 +377,6 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 }
 
 func (s *Server) status() *Status {
-	targets := s.coord.Targets()
 	st := &Status{
 		Capacity:     s.coord.Capacity(),
 		ExternalLoad: s.coord.ExternalLoad(),
@@ -387,19 +393,21 @@ func (s *Server) status() *Status {
 		remaining[name] = rem
 	}
 	s.mu.Unlock()
-	s.coord.mu.Lock()
-	for _, m := range s.coord.members {
+	// MemberInfos probes member code (Workers, targets) with no
+	// coordinator lock held; the spin sampling below is likewise
+	// lock-free here.
+	for _, info := range s.coord.MemberInfos() {
 		app := AppStatus{
-			Name:           m.Name(),
-			Procs:          m.Workers(),
-			Weight:         s.coord.weights[m.Name()],
-			Target:         targets[m.Name()],
+			Name:           info.Name,
+			Procs:          info.Workers,
+			Weight:         info.Weight,
+			Target:         info.Target,
 			LeaseRemaining: -1, // in-process members have no lease
 		}
-		if rem, ok := remaining[m.Name()]; ok && s.cfg.Lease > 0 {
+		if rem, ok := remaining[info.Name]; ok && s.cfg.Lease > 0 {
 			app.LeaseRemaining = rem
 		}
-		switch mm := m.(type) {
+		switch mm := info.Member.(type) {
 		case *remoteMember:
 			// Remote members report over the wire; stay nil until the
 			// first report so old clients render as "-" not "0%".
@@ -408,14 +416,13 @@ func (s *Server) status() *Status {
 			}
 		default:
 			// In-process members (e.g. *pool.Pool) are sampled live.
-			if sp, ok := m.(interface{ SpinPercent() float64 }); ok {
+			if sp, ok := info.Member.(interface{ SpinPercent() float64 }); ok {
 				v := sp.SpinPercent()
 				app.SpinPct = &v
 			}
 		}
 		st.Apps = append(st.Apps, app)
 	}
-	s.coord.mu.Unlock()
 	return st
 }
 
