@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet procctl-vet test race bench bench-go trace-smoke
+.PHONY: check build vet procctl-vet test race bench bench-go trace-smoke daemon-smoke
 
 # The full verification gate: what CI runs, in dependency order.
 check: build vet procctl-vet test race trace-smoke
@@ -59,3 +59,12 @@ trace-smoke:
 	$(TRACE_OUT)/procctl-trace summary -in $(TRACE_OUT)/fig4.jsonl
 	$(TRACE_OUT)/procctl-trace analyze -in $(TRACE_OUT)/fig4.jsonl
 	$(TRACE_OUT)/procctl-trace export -format chrome -in $(TRACE_OUT)/fig4.jsonl -out $(TRACE_OUT)/fig4.chrome.json
+
+# End-to-end smoke of the live daemon's observability surface: start
+# procctld with the introspection HTTP listener, hit /metrics,
+# /debug/pprof/, and /debug/vars, dump the flight recorder through
+# procctl-top -events, and shut down cleanly. scripts/daemon-smoke.sh
+# fails on any missing endpoint or empty event log.
+DAEMON_SMOKE_OUT ?= /tmp/procctl-daemon-smoke
+daemon-smoke:
+	OUT=$(DAEMON_SMOKE_OUT) ./scripts/daemon-smoke.sh

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 	"testing"
@@ -29,8 +30,11 @@ import (
 
 	"procctl/internal/apps"
 	"procctl/internal/experiments"
+	"procctl/internal/flight"
 	"procctl/internal/kernel"
 	"procctl/internal/machine"
+	"procctl/internal/metrics"
+	"procctl/internal/runtime/coordinator"
 	"procctl/internal/sim"
 	"procctl/internal/threads"
 	"procctl/internal/trace"
@@ -47,6 +51,12 @@ type result struct {
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	WallSeconds  float64 `json:"wall_seconds,omitempty"`
+	// Latency quantiles in microseconds, for benchmarks that measure a
+	// distribution rather than a single mean (FleetRebalance reports the
+	// coordinator's stage="total" rebalance span).
+	P50Us  int64 `json:"p50_us,omitempty"`
+	P99Us  int64 `json:"p99_us,omitempty"`
+	P999Us int64 `json:"p999_us,omitempty"`
 }
 
 // report is the BENCH_<date>.json file, schema procctl-bench/1.
@@ -70,9 +80,13 @@ const (
 )
 
 type bench struct {
-	name   string
-	extra  metric
-	fn     func(b *testing.B)
+	name  string
+	extra metric
+	fn    func(b *testing.B)
+	// after, when set, annotates the result with measurements the
+	// benchmark captured beyond the testing.B counters (e.g. latency
+	// quantiles from a metrics registry).
+	after func(res *result)
 }
 
 func main() {
@@ -114,6 +128,9 @@ func main() {
 			}
 		case wall:
 			res.WallSeconds = res.NsPerOp / 1e9
+		}
+		if bm.after != nil {
+			bm.after(&res)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
 	}
@@ -194,6 +211,60 @@ func compare(w io.Writer, path string, rep report, threshold float64) bool {
 		fmt.Fprintf(w, "procctl-bench: PASS vs %s\n", path)
 	}
 	return ok
+}
+
+// fleetRebalance builds the driven-fleet benchmark. The coordinator of
+// the final measured run is kept so after() can read the stage="total"
+// rebalance-latency quantiles out of its registry.
+func fleetRebalance() bench {
+	var last *coordinator.Coordinator
+	return bench{
+		name: "FleetRebalance",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			coord := coordinator.New(64)
+			srv := coordinator.NewServer(coord, ln)
+			go srv.Serve()
+			const fleet = 8
+			clients := make([]*coordinator.Client, fleet)
+			for i := range clients {
+				c, err := coordinator.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Register(fmt.Sprintf("app%d", i), 16); err != nil {
+					b.Fatal(err)
+				}
+				clients[i] = c
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				coord.Rebalance()
+			}
+			b.StopTimer()
+			last = coord
+			for _, c := range clients {
+				c.Close()
+			}
+			srv.Close()
+		},
+		after: func(res *result) {
+			if last == nil {
+				return
+			}
+			m := last.Snapshot().Get(metrics.Name("coordinator_rebalance_latency_micros", "stage", "total"))
+			if m == nil {
+				return
+			}
+			res.P50Us = m.Quantile(500)
+			res.P99Us = m.Quantile(990)
+			res.P999Us = m.Quantile(999)
+		},
+	}
 }
 
 func fatalf(format string, args ...any) {
@@ -289,6 +360,36 @@ func curated() []bench {
 			b.StopTimer()
 			k.Shutdown()
 		}},
+		// HistogramObserve is one observation into a log-bucketed latency
+		// histogram (the binary-search path): the per-event cost of the
+		// daemon's span instrumentation. Must stay zero-alloc.
+		{name: "HistogramObserve", extra: events, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			reg := metrics.NewRegistry()
+			h := reg.Histogram(metrics.Name("bench_latency_micros", "stage", "total"),
+				"benchmark histogram", metrics.LatencyBuckets)
+			rng := sim.NewRNG(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Observe(int64(rng.Intn(10_000_000)))
+			}
+		}},
+		// RecorderAppend is one flight-recorder event: the per-event cost
+		// of the always-on ring buffer. Must stay zero-alloc.
+		{name: "RecorderAppend", extra: events, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			rec := flight.New(flight.DefaultSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.Append(flight.Event{At: int64(i), Kind: flight.KindTarget, App: "bench", A: 8, B: 4})
+			}
+		}},
+		// FleetRebalance is a driven fleet: eight applications registered
+		// over the socket, then b.N full rebalances (snapshot, recompute,
+		// notify fan-out). Beyond ns/op, the coordinator's own
+		// stage="total" span histogram supplies p50/p99/p999 for the
+		// report.
+		fleetRebalance(),
 		// TraceRecord is one recorded virtual second of the Fig4-style
 		// mix (matmul + fft + background, control on): the cost of the
 		// recorder's JSONL encoding on top of the simulation.

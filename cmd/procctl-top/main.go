@@ -1,11 +1,13 @@
 // Command procctl-top inspects a running procctld daemon: capacity,
-// external load, and each registered application's process count and
-// current target — a tiny "top" for the paper's central server. With
-// -metrics it prints the daemon's full metrics snapshot instead.
+// external load, each registered application's process count and
+// current target, and the daemon's rebalance-latency quantiles — a tiny
+// "top" for the paper's central server. With -metrics it prints the
+// daemon's full metrics snapshot instead; with -events it dumps the
+// daemon's flight recorder (the ring of recent control-plane events).
 //
 // Usage:
 //
-//	procctl-top [-connect unix:/tmp/procctld.sock] [-watch 2s] [-metrics] [-setload N]
+//	procctl-top [-connect unix:/tmp/procctld.sock] [-watch 2s] [-metrics] [-events N] [-setload N]
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"procctl/internal/flight"
 	"procctl/internal/runtime/coordinator"
 )
 
@@ -33,6 +36,7 @@ func main() {
 		connect = flag.String("connect", "unix:/tmp/procctld.sock", "daemon address (unix:PATH or tcp:HOST:PORT)")
 		watch   = flag.Duration("watch", 0, "refresh continuously at this interval")
 		metrics = flag.Bool("metrics", false, "show the daemon's metrics snapshot instead of the status table")
+		events  = flag.Int("events", -1, "dump the daemon's newest N flight-recorder events (0 = all retained) and exit")
 		setload = flag.Int("setload", -1, "report this uncontrollable load to the daemon and exit")
 	)
 	flag.Parse()
@@ -53,6 +57,15 @@ func main() {
 			log.Fatalf("procctl-top: %v", err)
 		}
 		fmt.Printf("external load set to %d\n", *setload)
+		return
+	}
+
+	if *events >= 0 {
+		evs, err := client.Events(*events)
+		if err != nil {
+			log.Fatalf("procctl-top: %v", err)
+		}
+		fmt.Fprint(os.Stdout, eventsTable(evs))
 		return
 	}
 
@@ -146,20 +159,46 @@ func statusTable(st *coordinator.Status) string {
 		fmt.Fprintf(&b, ", lease %gs", st.LeaseSeconds)
 	}
 	b.WriteByte('\n')
-	if len(st.Apps) == 0 {
+	if len(st.Apps) > 0 {
+		fmt.Fprintf(&b, "%-20s %6s %6s %6s %6s %6s\n", "APP", "PROCS", "WEIGHT", "TARGET", "SPIN%", "LEASE")
+		for _, a := range st.Apps {
+			spin := "-"
+			if a.SpinPct != nil {
+				spin = fmt.Sprintf("%.0f%%", *a.SpinPct)
+			}
+			lease := "-"
+			if a.LeaseRemaining >= 0 {
+				lease = fmt.Sprintf("%.0fs", a.LeaseRemaining)
+			}
+			fmt.Fprintf(&b, "%-20s %6d %6d %6d %6s %6s\n", a.Name, a.Procs, a.Weight, a.Target, spin, lease)
+		}
+	}
+	if len(st.Rebalance) > 0 {
+		fmt.Fprintf(&b, "\nrebalance latency (µs)\n")
+		fmt.Fprintf(&b, "%-12s %8s %8s %8s %8s %8s\n", "STAGE", "COUNT", "P50", "P90", "P99", "P999")
+		for _, sl := range st.Rebalance {
+			fmt.Fprintf(&b, "%-12s %8d %8d %8d %8d %8d\n", sl.Stage, sl.Count, sl.P50, sl.P90, sl.P99, sl.P999)
+		}
+	}
+	return b.String()
+}
+
+// eventsTable renders a flight-recorder dump, oldest first. Event
+// timestamps are the daemon's wall clock in microseconds.
+func eventsTable(evs []flight.Event) string {
+	var b strings.Builder
+	if len(evs) == 0 {
+		b.WriteString("flight recorder empty\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-20s %6s %6s %6s %6s %6s\n", "APP", "PROCS", "WEIGHT", "TARGET", "SPIN%", "LEASE")
-	for _, a := range st.Apps {
-		spin := "-"
-		if a.SpinPct != nil {
-			spin = fmt.Sprintf("%.0f%%", *a.SpinPct)
+	fmt.Fprintf(&b, "%8s %-15s %-13s %-20s %10s %10s\n", "SEQ", "TIME", "KIND", "APP", "A", "B")
+	for _, ev := range evs {
+		ts := time.UnixMicro(ev.At).Format("15:04:05.000000")
+		app := ev.App
+		if app == "" {
+			app = "-"
 		}
-		lease := "-"
-		if a.LeaseRemaining >= 0 {
-			lease = fmt.Sprintf("%.0fs", a.LeaseRemaining)
-		}
-		fmt.Fprintf(&b, "%-20s %6d %6d %6d %6s %6s\n", a.Name, a.Procs, a.Weight, a.Target, spin, lease)
+		fmt.Fprintf(&b, "%8d %-15s %-13s %-20s %10d %10d\n", ev.Seq, ts, ev.Kind, app, ev.A, ev.B)
 	}
 	return b.String()
 }

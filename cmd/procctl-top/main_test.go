@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"testing"
 
+	"procctl/internal/flight"
 	"procctl/internal/runtime/coordinator"
 )
 
@@ -85,6 +86,64 @@ func TestStatusTableShowsLease(t *testing.T) {
 		if len(f) != 6 || f[4] != "-" || f[5] != "-" {
 			t.Errorf("leaseless, spin-less member row not rendered with dashes: %q", line)
 		}
+	}
+}
+
+func TestStatusTableShowsRebalanceLatency(t *testing.T) {
+	st := &coordinator.Status{
+		Capacity: 8,
+		Apps:     []coordinator.AppStatus{{Name: "fft", Procs: 8, Weight: 1, Target: 8, LeaseRemaining: -1}},
+		Rebalance: []coordinator.StageLatency{
+			{Stage: "snapshot", Count: 42, P50: 3, P90: 7, P99: 12, P999: 30},
+			{Stage: "total", Count: 42, P50: 55, P90: 90, P99: 140, P999: 400},
+		},
+	}
+	got := statusTable(st)
+	for _, want := range []string{"rebalance latency (µs)", "STAGE", "P999", "snapshot", "total"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("status table missing %q:\n%s", want, got)
+		}
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.HasPrefix(line, "total") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 6 || f[1] != "42" || f[2] != "55" || f[5] != "400" {
+			t.Errorf("total stage row malformed: %q", line)
+		}
+	}
+	// Daemons predating the spans send no Rebalance section at all.
+	st.Rebalance = nil
+	if got := statusTable(st); strings.Contains(got, "rebalance latency") {
+		t.Errorf("latency section shown without data:\n%s", got)
+	}
+}
+
+func TestEventsTable(t *testing.T) {
+	evs := []flight.Event{
+		{Seq: 7, At: 1_754_650_000_000_000, Kind: "register", App: "fft", A: 16},
+		{Seq: 8, At: 1_754_650_000_250_000, Kind: "rebalance", A: 120, B: 2},
+	}
+	got := eventsTable(evs)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("events table has %d lines, want header + 2 rows:\n%s", len(lines), got)
+	}
+	for _, want := range []string{"SEQ", "KIND", "register", "fft", "rebalance"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("events table missing %q:\n%s", want, got)
+		}
+	}
+	// Span events have no app; the column shows a dash, keeping rows
+	// field-aligned for awk-style consumers.
+	f := strings.Fields(lines[2])
+	if len(f) != 6 || f[3] != "-" {
+		t.Errorf("app-less event row not dash-padded: %q", lines[2])
+	}
+
+	if got := eventsTable(nil); !strings.Contains(got, "empty") {
+		t.Errorf("empty dump = %q", got)
 	}
 }
 

@@ -4,17 +4,28 @@
 // they should keep runnable; procctld divides the machine's processors
 // fairly among them.
 //
+// Observability: the -metrics HTTP listener serves the Prometheus
+// exposition at /metrics, Go's profiling endpoints at /debug/pprof/, and
+// expvar (including a live coordinator snapshot) at /debug/vars. SIGUSR1
+// dumps the flight recorder — the ring of recent control-plane events —
+// to the log without stopping anything.
+//
 // Usage:
 //
-//	procctld [-listen unix:/tmp/procctld.sock] [-capacity N] [-metrics HOST:PORT] [-v]
+//	procctld [-listen unix:/tmp/procctld.sock] [-capacity N] [-metrics HOST:PORT]
+//	         [-log-level debug|info|warn|error] [-log-json] [-v]
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -29,15 +40,24 @@ func main() {
 	var (
 		listen   = flag.String("listen", "unix:/tmp/procctld.sock", "listen address (unix:PATH or tcp:HOST:PORT)")
 		capacity = flag.Int("capacity", runtime.NumCPU(), "processors to divide among applications")
-		metrics  = flag.String("metrics", "", "serve Prometheus-style metrics over HTTP at this address (e.g. 127.0.0.1:9717)")
+		metrics  = flag.String("metrics", "", "serve metrics, pprof, and expvar over HTTP at this address (e.g. 127.0.0.1:9717)")
 		lease    = flag.Duration("lease", coordinator.DefaultLease, "unregister members whose connection is silent this long (0 disables)")
-		verbose  = flag.Bool("v", false, "log registrations and rebalances")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
+		verbose  = flag.Bool("v", false, "log registrations and rebalances (shorthand for -log-level debug)")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(os.Stderr, *logLevel, *logJSON, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "procctld: %v\n", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+
 	network, addr, err := splitListen(*listen)
 	if err != nil {
-		log.Fatalf("procctld: %v", err)
+		fatal(logger, "bad listen address", err)
 	}
 	if network == "unix" {
 		// A stale socket from an unclean shutdown blocks the listener.
@@ -45,7 +65,7 @@ func main() {
 	}
 	ln, err := net.Listen(network, addr)
 	if err != nil {
-		log.Fatalf("procctld: listen: %v", err)
+		fatal(logger, "listen", err)
 	}
 
 	leaseCfg := *lease
@@ -54,32 +74,51 @@ func main() {
 	}
 	coord := coordinator.New(*capacity)
 	srv := coordinator.NewServerWith(coord, ln, coordinator.ServerConfig{Lease: leaseCfg})
-	log.Printf("procctld: managing %d processors on %s (lease %v)", *capacity, ln.Addr(), *lease)
+	logger.Info("procctld started",
+		"capacity", *capacity, "addr", ln.Addr().String(), "lease", lease.String())
+
+	// Expose the coordinator's live state through expvar alongside the
+	// runtime's built-ins. Publish here (not in metricsHandler) — expvar
+	// panics on duplicate names, and tests build the handler repeatedly.
+	expvar.Publish("coordinator", expvar.Func(func() any { return coord.Snapshot() }))
 
 	var metricsSrv *http.Server
 	if *metrics != "" {
 		mln, err := net.Listen("tcp", *metrics)
 		if err != nil {
-			log.Fatalf("procctld: metrics listen: %v", err)
+			fatal(logger, "metrics listen", err)
 		}
 		metricsSrv = &http.Server{Handler: metricsHandler(coord)}
 		go func() {
 			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
-				log.Printf("procctld: metrics serve: %v", err)
+				logger.Error("metrics serve failed", "err", err)
 			}
 		}()
-		log.Printf("procctld: metrics on http://%s/metrics", mln.Addr())
+		logger.Info("introspection HTTP listener up",
+			"metrics", fmt.Sprintf("http://%s/metrics", mln.Addr()),
+			"pprof", fmt.Sprintf("http://%s/debug/pprof/", mln.Addr()),
+			"expvar", fmt.Sprintf("http://%s/debug/vars", mln.Addr()))
 	}
 
-	if *verbose {
-		go logChanges(coord)
+	if logger.Enabled(context.Background(), slog.LevelDebug) {
+		go logChanges(logger, coord)
 	}
+
+	// SIGUSR1 dumps the flight recorder to the log; SIGINT/SIGTERM shut
+	// down cleanly.
+	dump := make(chan os.Signal, 1)
+	signal.Notify(dump, syscall.SIGUSR1)
+	go func() {
+		for range dump {
+			dumpFlight(logger, coord)
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("procctld: shutting down")
+		logger.Info("shutting down")
 		if metricsSrv != nil {
 			metricsSrv.Close()
 		}
@@ -90,7 +129,40 @@ func main() {
 	}()
 
 	if err := srv.Serve(); err != nil && !isClosed(err) {
-		log.Fatalf("procctld: serve: %v", err)
+		fatal(logger, "serve", err)
+	}
+}
+
+// newLogger builds the daemon's slog.Logger from the log flags.
+func newLogger(w io.Writer, level string, json, verbose bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	if verbose {
+		lvl = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+// dumpFlight logs every retained flight-recorder event, oldest first.
+func dumpFlight(logger *slog.Logger, coord *coordinator.Coordinator) {
+	evs := coord.Events(0)
+	rec := coord.FlightRecorder()
+	logger.Info("flight recorder dump",
+		"events", len(evs), "total", rec.Total(), "dropped", rec.Dropped())
+	for _, ev := range evs {
+		logger.Info("flight event",
+			"seq", ev.Seq, "at_us", ev.At, "kind", ev.Kind, "app", ev.App, "a", ev.A, "b", ev.B)
 	}
 }
 
@@ -113,28 +185,37 @@ func isClosed(err error) bool {
 	return strings.Contains(err.Error(), "use of closed network connection")
 }
 
-// metricsHandler serves the coordinator's registry in the Prometheus
-// text exposition format at /metrics (and answers a plain GET / with a
-// pointer there).
+// metricsHandler serves the daemon's introspection surface: the
+// coordinator's registry in the Prometheus text exposition format at
+// /metrics, Go's profiling endpoints at /debug/pprof/, expvar at
+// /debug/vars, and a plain GET / index pointing at all three. pprof and
+// expvar are mounted explicitly so nothing depends on the side effects
+// of http.DefaultServeMux.
 func metricsHandler(coord *coordinator.Coordinator) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		coord.Snapshot().WritePrometheus(w)
 	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "procctld metrics: see /metrics")
+		fmt.Fprintln(w, "procctld introspection: /metrics, /debug/pprof/, /debug/vars")
 	})
 	return mux
 }
 
-// logChanges prints the target table whenever the membership changes,
+// logChanges logs the target table whenever the membership changes,
 // checking twice a second.
-func logChanges(coord *coordinator.Coordinator) {
+func logChanges(logger *slog.Logger, coord *coordinator.Coordinator) {
 	last := int64(-1)
 	for range time.Tick(500 * time.Millisecond) {
 		n := coord.Rebalances()
@@ -143,10 +224,10 @@ func logChanges(coord *coordinator.Coordinator) {
 		}
 		last = n
 		targets := coord.Targets()
-		var b strings.Builder
+		attrs := make([]any, 0, 2*len(targets))
 		for _, name := range coord.Members() {
-			fmt.Fprintf(&b, " %s=%d", name, targets[name])
+			attrs = append(attrs, name, targets[name])
 		}
-		log.Printf("procctld: targets:%s", b.String())
+		logger.Debug("targets", attrs...)
 	}
 }

@@ -119,6 +119,7 @@ var SimPackages = []string{
 	"internal/ctrl",
 	"internal/metrics",
 	"internal/faultinject",
+	"internal/flight",
 }
 
 // OrderedPackages lists additional package prefixes where map-iteration

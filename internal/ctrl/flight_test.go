@@ -1,0 +1,101 @@
+package ctrl
+
+import (
+	"encoding/json"
+	"testing"
+
+	"procctl/internal/flight"
+	"procctl/internal/kernel"
+	"procctl/internal/sim"
+)
+
+// flightRun replays a fixed membership scenario — two apps register,
+// one crashes and expires, periodic scans throughout — and returns the
+// server's flight log.
+func flightRun(t *testing.T) []flight.Event {
+	t.Helper()
+	k := newKernel(16, kernel.NewTimeshare())
+	s := NewServer(k, sim.Second)
+	spin(k, 1, 16, 3600*sim.Second)
+	spin(k, 2, 16, 3600*sim.Second)
+	s.Register(1, 16)
+	s.Register(2, 16)
+	k.Engine().Every(6*sim.Second, func() bool { s.Poll(2); return true })
+	k.Engine().Schedule(sim.Time(5*sim.Second), func() { k.KillApp(1) })
+	k.Engine().Run(sim.Time(30 * sim.Second))
+	evs := s.Events(0)
+	k.Shutdown()
+	return evs
+}
+
+// TestFlightEventsTellMembershipStory checks the sim server's recorder
+// captures registrations, target movement, the lease expiry, and every
+// scan — stamped in non-decreasing virtual time.
+func TestFlightEventsTellMembershipStory(t *testing.T) {
+	evs := flightRun(t)
+	if len(evs) == 0 {
+		t.Fatal("flight recorder empty after a 30s run")
+	}
+	counts := map[string]int{}
+	for i, ev := range evs {
+		counts[ev.Kind]++
+		if i > 0 && ev.At < evs[i-1].At {
+			t.Fatalf("virtual timestamps regressed: %d then %d", evs[i-1].At, ev.At)
+		}
+		if i > 0 && ev.Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seqs not dense: %d then %d", evs[i-1].Seq, ev.Seq)
+		}
+	}
+	if counts[flight.KindRegister] != 2 {
+		t.Errorf("%d register events, want 2", counts[flight.KindRegister])
+	}
+	if counts[flight.KindLeaseExpiry] != 1 {
+		t.Errorf("%d lease-expiry events, want 1", counts[flight.KindLeaseExpiry])
+	}
+	// Two registrations force scans, plus ~30 periodic ones.
+	if counts[flight.KindScan] < 30 {
+		t.Errorf("%d scan events over 30s at 1s interval, want >= 30", counts[flight.KindScan])
+	}
+	// Registration (16), equipartition (8), then expiry hands app 2
+	// everything back: at least three target moves for app2.
+	var app2Targets []int64
+	for _, ev := range evs {
+		if ev.Kind == flight.KindTarget && ev.App == "app2" {
+			app2Targets = append(app2Targets, ev.A)
+		}
+	}
+	if len(app2Targets) < 3 {
+		t.Fatalf("app2 target history %v, want register/share/reclaim transitions", app2Targets)
+	}
+	if first := app2Targets[0]; first != 16 {
+		t.Errorf("app2 first target %d, want its full 16", first)
+	}
+	if last := app2Targets[len(app2Targets)-1]; last != 16 {
+		t.Errorf("app2 final target %d, want 16 after the survivor reclaims", last)
+	}
+	// The expiry must carry the app label and how many expired with it.
+	for _, ev := range evs {
+		if ev.Kind == flight.KindLeaseExpiry {
+			if ev.App != "app1" || ev.A != 1 {
+				t.Errorf("lease-expiry event = %+v, want app1 with group size 1", ev)
+			}
+		}
+	}
+}
+
+// TestFlightEventsDeterministic runs the same seed twice and requires
+// byte-identical event logs — the recorder must be a pure function of
+// the simulation, like every other sim output.
+func TestFlightEventsDeterministic(t *testing.T) {
+	a, err := json.Marshal(flightRun(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(flightRun(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("same-seed flight logs differ:\n%s\n%s", a, b)
+	}
+}

@@ -10,7 +10,10 @@
 package ctrl
 
 import (
+	"strconv"
+
 	"procctl/internal/core"
+	"procctl/internal/flight"
 	"procctl/internal/kernel"
 	"procctl/internal/metrics"
 	"procctl/internal/sim"
@@ -57,6 +60,10 @@ type Server struct {
 	scans    *metrics.Counter
 	polls    *metrics.Counter
 	expiries *metrics.Counter
+
+	// rec is the simulated analogue of the daemon's flight recorder,
+	// stamped with virtual time: same-seed runs log identical events.
+	rec *flight.Recorder
 }
 
 // NewServer creates the server and installs its periodic scan on the
@@ -75,6 +82,7 @@ func NewServer(k *kernel.Kernel, interval sim.Duration) *Server {
 		scans:      k.Metrics().Counter("sim_ctrl_scans_total", "central-server target recomputations"),
 		polls:      k.Metrics().Counter("sim_ctrl_polls_total", "application polls served"),
 		expiries:   k.Metrics().Counter("sim_ctrl_lease_expiries_total", "applications unregistered because their lease lapsed"),
+		rec:        flight.New(flight.DefaultSize),
 	}
 	k.Engine().Every(interval, func() bool {
 		s.Scan()
@@ -97,6 +105,7 @@ func (s *Server) Register(id kernel.AppID, procs int) {
 		s.order = append(s.order, id)
 	}
 	s.registered[id] = procs
+	s.record(flight.Event{Kind: flight.KindRegister, App: appLabel(id), A: int64(procs)})
 	s.setTarget(id, procs) // until the first scan, let it run everything
 	s.lastSeen[id] = s.k.Engine().Now()
 	s.Scan() // the paper's server reacts to creation promptly
@@ -104,6 +113,7 @@ func (s *Server) Register(id kernel.AppID, procs int) {
 
 // Unregister implements threads.Controller.
 func (s *Server) Unregister(id kernel.AppID) {
+	s.record(flight.Event{Kind: flight.KindUnregister, App: appLabel(id), A: int64(s.targets[id])})
 	s.drop(id)
 	s.Scan() // freed processors are redistributed promptly
 }
@@ -139,6 +149,24 @@ func (s *Server) Poll(id kernel.AppID) int {
 // Target exposes the current target for tests and traces.
 func (s *Server) Target(id kernel.AppID) int { return s.targets[id] }
 
+// Events returns up to limit of the most recent flight-recorder events,
+// oldest first (limit <= 0 means everything retained).
+func (s *Server) Events(limit int) []flight.Event { return s.rec.Snapshot(limit) }
+
+// FlightRecorder exposes the server's recorder for dump tooling.
+func (s *Server) FlightRecorder() *flight.Recorder { return s.rec }
+
+// record stamps ev with the current virtual time and appends it. The
+// recorder is pure state: it never feeds back into scheduling or the
+// trace/annotation stream, so goldens are unaffected.
+func (s *Server) record(ev flight.Event) {
+	ev.At = int64(s.k.Engine().Now())
+	s.rec.Append(ev)
+}
+
+// appLabel renders a sim application id the way traces do.
+func appLabel(id kernel.AppID) string { return "app" + strconv.Itoa(int(id)) }
+
 // Registered returns the number of registered applications.
 func (s *Server) Registered() int { return len(s.order) }
 
@@ -148,6 +176,10 @@ func (s *Server) Scan() {
 	s.Scans++
 	s.scans.Inc()
 	s.expireLeases()
+	changed := 0
+	defer func() {
+		s.record(flight.Event{Kind: flight.KindScan, A: s.Scans, B: int64(changed)})
+	}()
 
 	if sizer, ok := s.k.Policy().(PartitionSizer); ok {
 		for _, app := range s.order {
@@ -168,7 +200,9 @@ func (s *Server) Scan() {
 			if t < 1 {
 				t = 1
 			}
-			s.setTarget(app, t)
+			if s.setTarget(app, t) {
+				changed++
+			}
 		}
 		return
 	}
@@ -196,18 +230,23 @@ func (s *Server) Scan() {
 	}
 	alloc := core.Allocate(avail, demands)
 	for i, app := range s.order {
-		s.setTarget(app, alloc[i])
+		if s.setTarget(app, alloc[i]) {
+			changed++
+		}
 	}
 }
 
 // setTarget records an application's target and, when it changed, stamps
 // a target-decision annotation into the trace stream with the scan
-// number as the causal reference.
-func (s *Server) setTarget(app kernel.AppID, t int) {
-	if old, ok := s.targets[app]; ok && old == t {
-		return
+// number as the causal reference, plus a flight-recorder event. Reports
+// whether the target moved.
+func (s *Server) setTarget(app kernel.AppID, t int) bool {
+	old, had := s.targets[app]
+	if had && old == t {
+		return false
 	}
 	s.targets[app] = t
+	s.record(flight.Event{Kind: flight.KindTarget, App: appLabel(app), A: int64(t), B: int64(old)})
 	s.k.Annotate(kernel.Annotation{
 		Layer:  "ctrl",
 		Kind:   "target",
@@ -216,6 +255,7 @@ func (s *Server) setTarget(app kernel.AppID, t int) {
 		Target: t,
 		Cause:  s.Scans,
 	})
+	return true
 }
 
 // expireLeases unregisters applications that have not polled within the
@@ -229,6 +269,7 @@ func (s *Server) expireLeases() {
 		return
 	}
 	now := s.k.Engine().Now()
+	var expired []kernel.AppID
 	i := 0
 	for _, app := range s.order { // s.order keeps expiry deterministic
 		if now.Sub(s.lastSeen[app]) > s.lease {
@@ -237,12 +278,16 @@ func (s *Server) expireLeases() {
 			delete(s.registered, app)
 			delete(s.targets, app)
 			delete(s.lastSeen, app)
+			expired = append(expired, app)
 			continue
 		}
 		s.order[i] = app
 		i++
 	}
 	s.order = s.order[:i]
+	for _, app := range expired {
+		s.record(flight.Event{Kind: flight.KindLeaseExpiry, App: appLabel(app), A: int64(len(expired))})
+	}
 }
 
 // liveProcs counts an application's non-exited processes (runnable,

@@ -1,0 +1,127 @@
+// Package flight is an always-on flight recorder: a fixed-size ring
+// buffer of structured control-plane events (registrations, lease
+// expiries, target changes, redials, rebalance spans) that costs one
+// mutexed struct copy per event and allocates nothing in steady state.
+// Both control servers keep one — the coordinator daemon stamps events
+// with wall-clock Unix microseconds, the simulated ctrl server with
+// virtual sim.Time microseconds — so a post-mortem can always ask "what
+// were the last few thousand decisions" without any tracing having been
+// enabled in advance.
+//
+// Determinism contract: the package never reads a clock; the caller
+// supplies every timestamp. Sequence numbers are assigned in append
+// order, so two same-seed simulated runs produce identical event logs
+// (the recorder is in procctl-vet's sim scope via internal/ctrl).
+package flight
+
+import "sync"
+
+// Event kinds shared by the recording layers. Kind is an open string —
+// a layer may record kinds of its own — but dumps and tests key on
+// these.
+const (
+	KindRegister    = "register"     // App registered; A = process count
+	KindUnregister  = "unregister"   // App withdrew; A = its last pushed target (0 if none)
+	KindLeaseExpiry = "lease_expiry" // App's lease lapsed; A = members expired with it
+	KindTarget      = "target"       // App's target changed; A = new target, B = previous
+	KindRebalance   = "rebalance"    // one recompute-and-notify span; A = total µs, B = members notified
+	KindRedial      = "redial"       // client lost the daemon and is re-dialing; A = attempt count
+	KindReconnect   = "reconnect"    // client re-dialed and re-registered; A = applied target
+	KindScan        = "scan"         // sim ctrl recompute; A = scan number, B = targets changed
+)
+
+// Event is one recorded occurrence. At is microseconds on the
+// recording layer's clock (Unix for the daemon, virtual for the sim);
+// Seq is assigned by the recorder in append order and survives ring
+// wraparound, so gaps reveal how much history was overwritten. A and B
+// carry kind-specific detail (see the Kind constants).
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	At   int64  `json:"at"`
+	Kind string `json:"kind"`
+	App  string `json:"app,omitempty"`
+	A    int64  `json:"a,omitempty"`
+	B    int64  `json:"b,omitempty"`
+}
+
+// Recorder is a fixed-capacity ring of Events, safe for concurrent use.
+// Append never allocates; history beyond the capacity is overwritten
+// oldest-first.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Event // fixed at construction; len(buf) is the capacity
+	next uint64  // total events ever appended
+}
+
+// DefaultSize is the ring capacity the control servers use: enough for
+// several minutes of a busy fleet's membership churn at a few KB per
+// thousand events.
+const DefaultSize = 4096
+
+// New returns a recorder holding the last size events (minimum 1).
+func New(size int) *Recorder {
+	if size < 1 {
+		size = 1
+	}
+	return &Recorder{buf: make([]Event, size)}
+}
+
+// Append records ev, assigning its sequence number. The event is copied
+// into the preallocated ring: no allocation, one short critical section.
+func (r *Recorder) Append(ev Event) {
+	r.mu.Lock()
+	ev.Seq = r.next
+	r.buf[int(r.next%uint64(len(r.buf)))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Total returns how many events were ever appended (including ones the
+// ring has since overwritten).
+func (r *Recorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Dropped returns how many events have been overwritten by wraparound.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.next - uint64(len(r.buf))
+}
+
+// Cap returns the ring capacity. (buf's length is fixed at
+// construction, but taking the lock keeps the access pattern uniform
+// for the lock-discipline analyzer.)
+func (r *Recorder) Cap() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Snapshot returns up to limit of the most recent events, oldest first
+// (limit <= 0 means everything retained). This is the dump path: it
+// allocates the returned slice; Append stays allocation-free.
+func (r *Recorder) Snapshot(limit int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	size := uint64(len(r.buf))
+	have := n
+	if have > size {
+		have = size
+	}
+	if limit > 0 && uint64(limit) < have {
+		have = uint64(limit)
+	}
+	out := make([]Event, have)
+	start := n - have
+	for i := uint64(0); i < have; i++ {
+		out[i] = r.buf[(start+i)%size]
+	}
+	return out
+}

@@ -99,16 +99,34 @@ func (g *Gauge) Value() int64 { return g.m.val.Load() }
 // Histogram counts int64 observations into a fixed bucket layout.
 type Histogram struct{ m *metric }
 
+// linearScanMax is the layout size up to which Observe sweeps the
+// bounds linearly: small layouts (TimeBuckets has 7) are faster under a
+// branch-predictable sweep, while the log-bucketed quantile layouts
+// (LatencyBuckets has ~64) want the hand-rolled binary search — still
+// closure- and allocation-free, unlike sort.Search.
+const linearScanMax = 16
+
 // Observe records v: the first bucket whose upper bound is >= v (the
-// Prometheus "le" convention), or the implicit +Inf bucket. The bucket
-// scan is linear: layouts are at most a handful of bounds (TimeBuckets
-// has 7), where a branch-predictable sweep beats sort.Search's closure
-// calls — Observe sits on the kernel's dispatch path.
+// Prometheus "le" convention), or the implicit +Inf bucket. Observe
+// sits on the kernel's dispatch path and the coordinator's rebalance
+// path; it costs one bounds scan plus three atomic adds.
 func (h *Histogram) Observe(v int64) {
 	bounds := h.m.bounds
 	i := 0
-	for i < len(bounds) && bounds[i] < v {
-		i++
+	if len(bounds) <= linearScanMax {
+		for i < len(bounds) && bounds[i] < v {
+			i++
+		}
+	} else {
+		j := len(bounds)
+		for i < j {
+			mid := int(uint(i+j) >> 1)
+			if bounds[mid] < v {
+				i = mid + 1
+			} else {
+				j = mid
+			}
+		}
 	}
 	h.m.buckets[i].Add(1)
 	h.m.count.Add(1)
@@ -292,6 +310,7 @@ func (r *Registry) Snapshot(at int64) *Snapshot {
 				cum += m.buckets[i].Load()
 				e.Buckets[i] = cum // cumulative, Prometheus-style
 			}
+			e.Quantiles = e.quantilePoints()
 		default:
 			e.Value = m.val.Load()
 		}

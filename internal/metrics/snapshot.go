@@ -8,18 +8,20 @@ import (
 )
 
 // Metric is one series in a snapshot. Counter and gauge values are in
-// Value; histograms carry Count, Sum, and cumulative Buckets (one per
-// Bound, plus a final +Inf bucket equal to Count).
+// Value; histograms carry Count, Sum, cumulative Buckets (one per
+// Bound, plus a final +Inf bucket equal to Count), and the estimated
+// Quantiles (p50/p90/p99/p999; absent while the series is empty).
 type Metric struct {
-	Name    string  `json:"name"`
-	Base    string  `json:"base,omitempty"`
-	Kind    string  `json:"kind"`
-	Help    string  `json:"help,omitempty"`
-	Value   int64   `json:"value,omitempty"`
-	Count   int64   `json:"count,omitempty"`
-	Sum     int64   `json:"sum,omitempty"`
-	Bounds  []int64 `json:"bounds,omitempty"`
-	Buckets []int64 `json:"buckets,omitempty"`
+	Name      string          `json:"name"`
+	Base      string          `json:"base,omitempty"`
+	Kind      string          `json:"kind"`
+	Help      string          `json:"help,omitempty"`
+	Value     int64           `json:"value,omitempty"`
+	Count     int64           `json:"count,omitempty"`
+	Sum       int64           `json:"sum,omitempty"`
+	Bounds    []int64         `json:"bounds,omitempty"`
+	Buckets   []int64         `json:"buckets,omitempty"`
+	Quantiles []QuantilePoint `json:"quantiles,omitempty"`
 }
 
 // labels returns the series' label block including braces, or "".
@@ -51,8 +53,9 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 }
 
 // WriteText renders the snapshot as a sorted, aligned two-column table.
-// Histograms expand into _count and _sum rows; bucket detail is left to
-// the JSON and Prometheus renderings.
+// Histograms expand into _count and _sum rows plus one row per
+// estimated quantile (_p50/_p90/_p99/_p999, once the series has data);
+// bucket detail is left to the JSON and Prometheus renderings.
 func (s *Snapshot) WriteText(w io.Writer) error {
 	type row struct {
 		name  string
@@ -65,6 +68,9 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 			rows = append(rows,
 				row{m.Base + "_count" + m.labels(), m.Count},
 				row{m.Base + "_sum" + m.labels(), m.Sum})
+			for _, qp := range m.Quantiles {
+				rows = append(rows, row{m.Base + "_" + quantileSuffix(qp.Q) + m.labels(), qp.V})
+			}
 			continue
 		}
 		rows = append(rows, row{m.Name, m.Value})
@@ -97,7 +103,12 @@ func mergeLabels(labels, extra string) string {
 
 // WritePrometheus renders the snapshot in the Prometheus text
 // exposition format (version 0.0.4): # HELP / # TYPE headers per base
-// name, histograms as cumulative _bucket/_sum/_count series.
+// name, histograms as cumulative _bucket/_sum/_count series. Histogram
+// quantile estimates are additionally exported as derived gauge
+// families (<base>_p50 … <base>_p999) — the exposition format has no
+// quantile slot on the histogram type itself, and a derived family
+// keeps the output spec-valid while letting dashboards read tails
+// without a PromQL histogram_quantile step.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	// Series are sorted by full name; group them by base so each base
 	// gets exactly one header block. Labeled and unlabeled series of
@@ -143,6 +154,42 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 				continue
 			}
 			if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value); err != nil {
+				return err
+			}
+		}
+		if group[0].Kind == KindHistogram.String() {
+			if err := writeQuantileFamilies(w, base, group); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeQuantileFamilies emits the derived <base>_pXX gauge families for
+// one histogram family: one TYPE header per derived family, then one
+// sample per series that has data. Families whose every series is empty
+// are omitted entirely.
+func writeQuantileFamilies(w io.Writer, base string, group []*Metric) error {
+	// All series in the family export the same quantile set (or none);
+	// find a populated one to learn it.
+	var ref []QuantilePoint
+	for _, m := range group {
+		if len(m.Quantiles) > 0 {
+			ref = m.Quantiles
+			break
+		}
+	}
+	for qi, qp := range ref {
+		fam := base + "_" + quantileSuffix(qp.Q)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", fam); err != nil {
+			return err
+		}
+		for _, m := range group {
+			if qi >= len(m.Quantiles) {
+				continue // empty series: no estimate to report
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", fam, m.labels(), m.Quantiles[qi].V); err != nil {
 				return err
 			}
 		}

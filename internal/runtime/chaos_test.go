@@ -16,6 +16,7 @@ import (
 	"procctl/internal/apps"
 	"procctl/internal/ctrl"
 	"procctl/internal/faultinject"
+	"procctl/internal/flight"
 	"procctl/internal/kernel"
 	"procctl/internal/machine"
 	"procctl/internal/runtime/coordinator"
@@ -243,6 +244,93 @@ func TestChaosDaemonRestartMidTraffic(t *testing.T) {
 	pb.Close()
 	pa.Wait()
 	pb.Wait()
+}
+
+// TestChaosFlightRecorderTellsTheStory drives a membership failure and
+// then reads the daemon's flight recorder over the events op: the ring
+// must contain the registrations, the lease expiry, and the target
+// movement — a post-mortem of the chaos with no tracing pre-arranged.
+func TestChaosFlightRecorderTellsTheStory(t *testing.T) {
+	guardGoroutines(t)
+	sock := filepath.Join(t.TempDir(), "procctld.sock")
+	coord, srv := startDaemon(t, sock, 8, coordinator.ServerConfig{Lease: chaosLease, SweepInterval: chaosSweep})
+	t.Cleanup(func() { srv.Close() })
+
+	healthy, err := coordinator.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { healthy.Close() })
+	p := pool.New(pool.Config{Name: "survivor", Workers: 8})
+	drv, err := healthy.DriveWith("survivor", 8, p, fastDrive())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hung, err := coordinator.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hung.Close() })
+	if _, err := hung.Register("hangs", 8); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool { return len(coord.Members()) == 2 },
+		"both members never registered")
+	// The hung client goes silent; the sweep must expire it.
+	waitFor(t, 3*time.Second, func() bool { return len(coord.Members()) == 1 },
+		"hung member never expired")
+	waitFor(t, 3*time.Second, func() bool { return p.Target() == 8 },
+		"survivor never reclaimed the machine")
+
+	evs, err := healthy.Events(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	survivorTargets := []int64{}
+	for _, ev := range evs {
+		counts[ev.Kind]++
+		if ev.Kind == flight.KindTarget && ev.App == "survivor" {
+			survivorTargets = append(survivorTargets, ev.A)
+		}
+	}
+	if counts[flight.KindRegister] < 2 {
+		t.Errorf("%d register events, want >= 2", counts[flight.KindRegister])
+	}
+	if counts[flight.KindLeaseExpiry] < 1 {
+		t.Errorf("no lease-expiry event after the hung client was swept: %v", counts)
+	}
+	if counts[flight.KindRebalance] < 2 {
+		t.Errorf("%d rebalance spans, want one per membership change at least", counts[flight.KindRebalance])
+	}
+	// The survivor's recorded target history must end at the full
+	// machine, passing through the 4/4 split.
+	if n := len(survivorTargets); n < 2 || survivorTargets[n-1] != 8 {
+		t.Errorf("survivor target history %v, want ... -> 8", survivorTargets)
+	}
+	saw4 := false
+	for _, v := range survivorTargets {
+		if v == 4 {
+			saw4 = true
+		}
+	}
+	if !saw4 {
+		t.Errorf("survivor target history %v never shows the 4/4 split", survivorTargets)
+	}
+
+	// The daemon's status view agrees with the spans that produced it.
+	st, err := healthy.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rebalance) == 0 {
+		t.Error("status carries no rebalance-latency stages after all that churn")
+	}
+
+	drv.Stop()
+	p.Close()
+	p.Wait()
 }
 
 // TestChaosSimFaultStormDeterministic throws every simulated fault at

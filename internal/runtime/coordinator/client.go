@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"procctl/internal/flight"
 	"procctl/internal/metrics"
 )
 
@@ -175,6 +176,17 @@ func (c *Client) Metrics() (*metrics.Snapshot, error) {
 	return resp.Metrics, nil
 }
 
+// Events fetches up to limit of the daemon's most recent flight-recorder
+// events, oldest first (limit <= 0 fetches everything the ring
+// retains). Daemons predating the op answer with an error.
+func (c *Client) Events(limit int) ([]flight.Event, error) {
+	resp, err := c.roundTrip(&Request{Op: OpEvents, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
+}
+
 // Targeter accepts targets; *pool.Pool satisfies it.
 type Targeter interface {
 	SetTarget(n int)
@@ -223,9 +235,14 @@ type DriveOptions struct {
 	// between reconnection attempts (defaults 100 ms and 5 s).
 	BackoffMin time.Duration
 	BackoffMax time.Duration
-	// Metrics, when non-nil, receives per-app poll/reconnect counters
-	// and a degraded-mode gauge.
+	// Metrics, when non-nil, receives per-app poll/reconnect counters,
+	// a degraded-mode gauge, and the client's slice of the rebalance
+	// span: poll round-trip latency and the "apply" stage (response
+	// received → SetTarget done).
 	Metrics *metrics.Registry
+	// Flight, when non-nil, receives redial/reconnect events — the
+	// client-side entries of the control plane's flight log.
+	Flight *flight.Recorder
 }
 
 func (o DriveOptions) withDefaults() DriveOptions {
@@ -282,6 +299,7 @@ type Driver struct {
 
 	polls, pollErrors, redials, reconnects *metrics.Counter
 	degraded, targetGauge                  *metrics.Gauge
+	pollMicros, applyMicros                *metrics.Histogram
 }
 
 // DriveWith registers the application and runs the poll loop with
@@ -309,6 +327,10 @@ func (c *Client) DriveWith(app string, procs int, t Targeter, opts DriveOptions)
 		d.reconnects = reg.Counter(metrics.Name("coordinator_client_reconnects_total", "app", app), "successful re-dial + re-register cycles")
 		d.degraded = reg.Gauge(metrics.Name("coordinator_client_degraded", "app", app), "1 while running without a reachable daemon")
 		d.targetGauge = reg.Gauge(metrics.Name("coordinator_client_target", "app", app), "most recently applied worker target")
+		d.pollMicros = reg.Histogram(metrics.Name("coordinator_client_poll_micros", "app", app),
+			"poll round-trip latency", metrics.LatencyBuckets)
+		d.applyMicros = reg.Histogram(metrics.Name("coordinator_rebalance_latency_micros", "stage", StageApply, "app", app),
+			"rebalance span, client side: poll response received until SetTarget returned", metrics.LatencyBuckets)
 	}
 	d.apply(target)
 	d.wg.Add(1)
@@ -337,9 +359,16 @@ func (d *Driver) Stop() {
 	})
 }
 
-// apply pushes a target to the application and the stats.
+// apply pushes a target to the application and the stats. The SetTarget
+// call is the client half of the rebalance span ("apply" stage): it is
+// member code — a pool resizing, workers parking — and the histogram
+// shows when *it*, not the daemon, is the tail.
 func (d *Driver) apply(target int) {
+	start := time.Now()
 	d.t.SetTarget(target)
+	if d.applyMicros != nil {
+		d.applyMicros.Observe(time.Since(start).Microseconds())
+	}
 	d.mu.Lock()
 	d.stats.Target = target
 	d.mu.Unlock()
@@ -400,8 +429,12 @@ func (d *Driver) loop() {
 			if now.Before(nextPoll) {
 				continue
 			}
+			pollStart := time.Now()
 			target, err := d.c.poll(d.app, spinOf(d.t))
 			if err == nil {
+				if d.pollMicros != nil {
+					d.pollMicros.Observe(time.Since(pollStart).Microseconds())
+				}
 				d.count(func(s *DriveStats) { s.Polls++ }, d.polls)
 				d.apply(target)
 				nextPoll = now.Add(d.opts.Interval)
@@ -420,12 +453,19 @@ func (d *Driver) loop() {
 
 		if !now.Before(nextRedial) {
 			d.count(func(s *DriveStats) { s.Redials++ }, d.redials)
+			if rec := d.opts.Flight; rec != nil {
+				attempts := d.Stats().Redials
+				rec.Append(flight.Event{At: now.UnixMicro(), Kind: flight.KindRedial, App: d.app, A: attempts})
+			}
 			if err := d.c.Redial(); err == nil {
 				// Transparent re-register: a restarted daemon has an
 				// empty member table; a surviving daemon just replaces
 				// the member. Either way the fresh target applies.
 				if target, err := d.c.register(d.app, d.procs, spinOf(d.t)); err == nil {
 					d.count(func(s *DriveStats) { s.Reconnects++ }, d.reconnects)
+					if rec := d.opts.Flight; rec != nil {
+						rec.Append(flight.Event{At: time.Now().UnixMicro(), Kind: flight.KindReconnect, App: d.app, A: int64(target)})
+					}
 					d.setDegraded(false, now)
 					d.apply(target)
 					connected = true

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"procctl/internal/core"
+	"procctl/internal/flight"
 	"procctl/internal/metrics"
 )
 
@@ -56,6 +57,14 @@ type Coordinator struct {
 
 	rebalances int64
 	met        coordMetrics
+
+	rec *flight.Recorder
+
+	// pushMu guards the last pushed target per member, so the flight
+	// recorder logs target *changes* rather than every push. It is a
+	// leaf lock, never held across member code or c.mu.
+	pushMu     sync.Mutex
+	lastPushed map[string]int
 }
 
 // snapshot is an immutable copy of the allocation inputs, taken under
@@ -67,21 +76,57 @@ type snapshot struct {
 	loadAware bool
 }
 
+// Rebalance span stages, in causal order: the member event waiting on
+// and copying state under c.mu (snapshot), the allocation computed from
+// the copy (recompute), the SetTarget fan-out to every member (notify),
+// and the whole span end to end (total). The client side records a
+// fifth stage, "apply", into its own registry (see DriveOptions).
+var rebalanceStages = [...]string{StageSnapshot, StageRecompute, StageNotify, StageTotal}
+
+// Stage label values of coordinator_rebalance_latency_micros.
+const (
+	StageSnapshot  = "snapshot"
+	StageRecompute = "recompute"
+	StageNotify    = "notify"
+	StageTotal     = "total"
+	// StageApply is client-side: poll response received → SetTarget done.
+	StageApply = "apply"
+)
+
 // coordMetrics is the coordinator's slice of a metrics registry. The
 // runtime layer runs on the wall clock; rebalanceMicros measures notify
-// latency — recompute plus pushing SetTarget to every member.
+// latency — recompute plus pushing SetTarget to every member — and the
+// per-stage spans break the same control loop down so quantiles can
+// say where a large fleet bottlenecks (lock wait? allocation? fan-out?).
 type coordMetrics struct {
 	reg             *metrics.Registry
 	rebalanceCount  *metrics.Counter
 	rebalanceMicros *metrics.Histogram
+
+	stageMicros [len(rebalanceStages)]*metrics.Histogram
+	stageCount  [len(rebalanceStages)]*metrics.Counter
 }
 
 func newCoordMetrics(reg *metrics.Registry) coordMetrics {
-	return coordMetrics{
+	m := coordMetrics{
 		reg:             reg,
 		rebalanceCount:  reg.Counter("coordinator_rebalances_total", "target recomputations"),
 		rebalanceMicros: reg.Histogram("coordinator_rebalance_micros", "wall-clock recompute-and-notify latency", nil),
 	}
+	for i, stage := range rebalanceStages {
+		m.stageMicros[i] = reg.Histogram(metrics.Name("coordinator_rebalance_latency_micros", "stage", stage),
+			"wall-clock rebalance span latency by stage", metrics.LatencyBuckets)
+		m.stageCount[i] = reg.Counter(metrics.Name("coordinator_rebalance_stages_total", "stage", stage),
+			"rebalance span stages recorded")
+	}
+	return m
+}
+
+// observeStage records one stage's duration into its histogram and
+// counter.
+func (m *coordMetrics) observeStage(i int, d time.Duration) {
+	m.stageMicros[i].Observe(d.Microseconds())
+	m.stageCount[i].Inc()
 }
 
 // New creates a coordinator managing the given processor capacity. A
@@ -91,7 +136,11 @@ func New(capacity int) *Coordinator {
 	if capacity <= 0 {
 		capacity = runtime.GOMAXPROCS(0)
 	}
-	c := &Coordinator{capacity: capacity}
+	c := &Coordinator{
+		capacity:   capacity,
+		rec:        flight.New(flight.DefaultSize),
+		lastPushed: make(map[string]int),
+	}
 	c.met = newCoordMetrics(metrics.NewRegistry())
 	c.met.reg.OnCollect(func() {
 		c.mu.Lock()
@@ -127,11 +176,12 @@ func (c *Coordinator) SetCapacity(n int) error {
 	if n < 1 {
 		return fmt.Errorf("coordinator: capacity %d < 1", n)
 	}
+	start := time.Now()
 	c.mu.Lock()
 	c.capacity = n
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
-	c.notify(snap)
+	c.notify(snap, start)
 	return nil
 }
 
@@ -142,11 +192,12 @@ func (c *Coordinator) SetExternalLoad(n int) {
 	if n < 0 {
 		n = 0
 	}
+	start := time.Now()
 	c.mu.Lock()
 	c.external = n
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
-	c.notify(snap)
+	c.notify(snap, start)
 }
 
 // ExternalLoad returns the current uncontrollable-load estimate.
@@ -169,24 +220,36 @@ func (c *Coordinator) RegisterWeighted(m Member, weight int) {
 		weight = 1
 	}
 	name := m.Name() // interface call before taking the lock
+	start := time.Now()
 	c.mu.Lock()
 	c.removeLocked(name)
 	c.entries = append(c.entries, entry{m: m, name: name, weight: weight})
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
-	c.notify(snap)
+	c.rec.Append(flight.Event{At: start.UnixMicro(), Kind: flight.KindRegister, App: name, A: int64(m.Workers()), B: int64(weight)})
+	c.notify(snap, start)
 }
 
 // Unregister removes the named member and redistributes its processors.
 func (c *Coordinator) Unregister(name string) {
+	start := time.Now()
 	c.mu.Lock()
 	removed := c.removeLocked(name)
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
 	if removed {
 		c.met.reg.Remove(metrics.Name("coordinator_target", "app", name))
+		c.pushMu.Lock()
+		last, hadTarget := c.lastPushed[name]
+		delete(c.lastPushed, name)
+		c.pushMu.Unlock()
+		var a int64
+		if hadTarget {
+			a = int64(last)
+		}
+		c.rec.Append(flight.Event{At: start.UnixMicro(), Kind: flight.KindUnregister, App: name, A: a})
 	}
-	c.notify(snap)
+	c.notify(snap, start)
 }
 
 // removeLocked drops the named entry from the membership table. Callers
@@ -233,10 +296,11 @@ func (c *Coordinator) Members() []string {
 // Rebalance recomputes and pushes all targets. Registration changes do
 // this automatically; call it after a member's Workers count changes.
 func (c *Coordinator) Rebalance() {
+	start := time.Now()
 	c.mu.Lock()
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
-	c.notify(snap)
+	c.notify(snap, start)
 }
 
 // Rebalances returns how many times targets were recomputed.
@@ -308,16 +372,58 @@ func (c *Coordinator) allocate(snap snapshot) []int {
 // the older of two targets; the next rebalance (or the periodic
 // StartAutoRebalance tick) converges it. That transient is the price of
 // never holding the coordinator lock across member code.
-func (c *Coordinator) notify(snap snapshot) {
-	start := time.Now()
+//
+// start is when the triggering member event entered the coordinator:
+// the span from start to the snapshot's release is the "snapshot" stage
+// (lock wait plus state copy), then "recompute" (allocation), then
+// "notify" (the SetTarget fan-out — the stage that grows with fleet
+// size), with "total" covering the whole span. Each stage lands in
+// coordinator_rebalance_latency_micros{stage=...}; the completed span
+// and any target changes land in the flight recorder.
+func (c *Coordinator) notify(snap snapshot, start time.Time) {
+	snapDone := time.Now()
 	c.met.rebalanceCount.Inc()
 	alloc := c.allocate(snap)
+	recomputeDone := time.Now()
 	for i, e := range snap.entries {
 		e.m.SetTarget(alloc[i])
 		c.met.reg.Gauge(metrics.Name("coordinator_target", "app", e.name), "processors allotted to this member").Set(int64(alloc[i]))
 	}
-	c.met.rebalanceMicros.Observe(time.Since(start).Microseconds())
+	end := time.Now()
+	c.met.rebalanceMicros.Observe(end.Sub(snapDone).Microseconds())
+	for i, d := range []time.Duration{snapDone.Sub(start), recomputeDone.Sub(snapDone), end.Sub(recomputeDone), end.Sub(start)} {
+		c.met.observeStage(i, d)
+	}
+	c.rec.Append(flight.Event{At: end.UnixMicro(), Kind: flight.KindRebalance,
+		A: end.Sub(start).Microseconds(), B: int64(len(snap.entries))})
+	for i, e := range snap.entries {
+		c.noteTarget(e.name, alloc[i], end.UnixMicro())
+	}
 }
+
+// noteTarget records a target *change* into the flight recorder: pushes
+// that repeat the member's previous target are the steady state and
+// would drown the ring in no-ops.
+func (c *Coordinator) noteTarget(name string, target int, at int64) {
+	c.pushMu.Lock()
+	old, ok := c.lastPushed[name]
+	c.lastPushed[name] = target
+	c.pushMu.Unlock()
+	if !ok || old != target {
+		c.rec.Append(flight.Event{At: at, Kind: flight.KindTarget, App: name, A: int64(target), B: int64(old)})
+	}
+}
+
+// Events returns up to limit of the most recent flight-recorder events,
+// oldest first (limit <= 0 returns everything retained). The recorder
+// is always on: registrations, lease expiries, target changes, and
+// rebalance spans are captured with no tracing enabled in advance.
+func (c *Coordinator) Events(limit int) []flight.Event { return c.rec.Snapshot(limit) }
+
+// FlightRecorder exposes the coordinator's recorder so co-located
+// layers (the socket server, the daemon binary) append into the same
+// timeline.
+func (c *Coordinator) FlightRecorder() *flight.Recorder { return c.rec }
 
 // Loader is an optional Member extension: a member that can report how
 // much work it actually has (queued + executing tasks). With
@@ -331,11 +437,12 @@ type Loader interface {
 
 // SetLoadAware toggles load-aware allocation and rebalances.
 func (c *Coordinator) SetLoadAware(on bool) {
+	start := time.Now()
 	c.mu.Lock()
 	c.loadAware = on
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
-	c.notify(snap)
+	c.notify(snap, start)
 }
 
 // demandOf computes a member's Demand. It calls into member code and

@@ -1,6 +1,9 @@
 package coordinator
 
-import "procctl/internal/metrics"
+import (
+	"procctl/internal/flight"
+	"procctl/internal/metrics"
+)
 
 // The wire protocol is JSON objects, one per line, over any stream
 // connection (Unix socket by default, TCP if asked) — the modern
@@ -19,6 +22,8 @@ import "procctl/internal/metrics"
 //	<- {"ok":true,"status":{...}}
 //	-> {"op":"metrics"}
 //	<- {"ok":true,"metrics":{"at":...,"metrics":[...]}}
+//	-> {"op":"events","limit":100}
+//	<- {"ok":true,"events":[{"seq":...,"at":...,"kind":"register",...},...]}
 //
 // Registrations are owned by their connection: when the connection
 // drops, its applications are unregistered and their processors are
@@ -41,6 +46,9 @@ type Request struct {
 	// daemons ignore the field, old clients never send it, and the
 	// pointer distinguishes "not reported" from a genuine 0%.
 	SpinPct *float64 `json:"spin_pct,omitempty"`
+	// Limit caps how many flight-recorder events an "events" request
+	// returns (0 = everything the ring retains).
+	Limit int `json:"limit,omitempty"`
 }
 
 // Response is one server reply.
@@ -50,6 +58,9 @@ type Response struct {
 	Target  int               `json:"target,omitempty"`
 	Status  *Status           `json:"status,omitempty"`
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// Events is the flight-recorder dump served by the "events" op,
+	// oldest first.
+	Events []flight.Event `json:"events,omitempty"`
 }
 
 // Status is the coordinator state snapshot served to inspectors.
@@ -60,6 +71,21 @@ type Status struct {
 	// disabled).
 	LeaseSeconds float64     `json:"lease_seconds,omitempty"`
 	Apps         []AppStatus `json:"apps"`
+	// Rebalance carries the daemon's per-stage rebalance-latency
+	// quantiles (absent on daemons predating the spans, or before the
+	// first rebalance).
+	Rebalance []StageLatency `json:"rebalance,omitempty"`
+}
+
+// StageLatency summarizes one rebalance stage's latency distribution in
+// microseconds, estimated from the daemon's log-bucketed histograms.
+type StageLatency struct {
+	Stage string `json:"stage"`
+	Count int64  `json:"count"`
+	P50   int64  `json:"p50_us"`
+	P90   int64  `json:"p90_us"`
+	P99   int64  `json:"p99_us"`
+	P999  int64  `json:"p999_us"`
 }
 
 // AppStatus describes one registered application.
@@ -86,4 +112,5 @@ const (
 	OpSetLoad    = "setload"
 	OpStatus     = "status"
 	OpMetrics    = "metrics"
+	OpEvents     = "events"
 )

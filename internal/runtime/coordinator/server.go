@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"procctl/internal/flight"
 	"procctl/internal/metrics"
 )
 
@@ -232,15 +234,21 @@ func (s *Server) sweep(now time.Time) {
 	}
 	s.mu.Unlock()
 	for _, cs := range victims {
-		expired := 0
+		var expired []string
 		s.mu.Lock()
-		for _, owner := range s.owners {
+		for name, owner := range s.owners {
 			if owner == cs {
-				expired++
+				expired = append(expired, name)
 			}
 		}
 		s.mu.Unlock()
-		s.expiries.Add(int64(expired))
+		s.expiries.Add(int64(len(expired)))
+		sort.Strings(expired) // map order must not leak into the event log
+		for _, name := range expired {
+			s.coord.FlightRecorder().Append(flight.Event{
+				At: now.UnixMicro(), Kind: flight.KindLeaseExpiry, App: name, A: int64(len(expired)),
+			})
+		}
 		cs.conn.Close()
 	}
 }
@@ -371,6 +379,9 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 	case OpMetrics:
 		return Response{OK: true, Metrics: s.coord.Snapshot()}
 
+	case OpEvents:
+		return Response{OK: true, Events: s.coord.Events(req.Limit)}
+
 	default:
 		return errResp(fmt.Errorf("unknown op %q", req.Op))
 	}
@@ -423,7 +434,30 @@ func (s *Server) status() *Status {
 		}
 		st.Apps = append(st.Apps, app)
 	}
+	st.Rebalance = stageLatencies(s.coord.Snapshot())
 	return st
+}
+
+// stageLatencies extracts the per-stage rebalance-latency quantiles
+// from a metrics snapshot, in causal stage order; stages that have not
+// recorded a span yet are skipped.
+func stageLatencies(snap *metrics.Snapshot) []StageLatency {
+	var out []StageLatency
+	for _, stage := range rebalanceStages {
+		m := snap.Get(metrics.Name("coordinator_rebalance_latency_micros", "stage", stage))
+		if m == nil || m.Count == 0 {
+			continue
+		}
+		out = append(out, StageLatency{
+			Stage: stage,
+			Count: m.Count,
+			P50:   m.Quantile(500),
+			P90:   m.Quantile(900),
+			P99:   m.Quantile(990),
+			P999:  m.Quantile(999),
+		})
+	}
+	return out
 }
 
 func errResp(err error) Response {

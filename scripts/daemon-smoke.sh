@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# daemon-smoke.sh — end-to-end smoke of procctld's observability
+# surface. Builds the daemon and procctl-top, starts the daemon with
+# the introspection HTTP listener, registers a member over the socket,
+# then checks every endpoint answers with real content:
+#
+#   /metrics       Prometheus exposition with the rebalance-span series
+#   /debug/pprof/  Go profiling index
+#   /debug/vars    expvar JSON (memstats + the coordinator snapshot)
+#   events op      flight-recorder dump via procctl-top -events
+#
+# Fails (exit 1) on any missing endpoint, series, or event. Used by
+# `make daemon-smoke` and the daemon-smoke CI job.
+set -euo pipefail
+
+OUT="${OUT:-/tmp/procctl-daemon-smoke}"
+SOCK="$OUT/procctld.sock"
+METRICS_ADDR="127.0.0.1:19717"
+mkdir -p "$OUT"
+
+go build -o "$OUT/procctld" ./cmd/procctld
+go build -o "$OUT/procctl-top" ./cmd/procctl-top
+
+"$OUT/procctld" -listen "unix:$SOCK" -capacity 8 -metrics "$METRICS_ADDR" \
+    -log-level debug >"$OUT/procctld.log" 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+# Wait for both listeners.
+for i in $(seq 1 50); do
+    [ -S "$SOCK" ] && curl -sf "http://$METRICS_ADDR/" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "daemon-smoke: socket never appeared"; exit 1; }
+
+# Drive some control-plane traffic so the spans and the flight recorder
+# have something to show: report external load (a registration-free op
+# that triggers a rebalance), then read status.
+"$OUT/procctl-top" -connect "unix:$SOCK" -setload 2
+"$OUT/procctl-top" -connect "unix:$SOCK" | tee "$OUT/status.txt"
+
+fail() { echo "daemon-smoke: $1" >&2; exit 1; }
+
+# /metrics: the exposition must carry the rebalance-span histogram and
+# its derived quantile gauges.
+curl -sf "http://$METRICS_ADDR/metrics" >"$OUT/metrics.txt" \
+    || fail "/metrics unreachable"
+grep -q 'coordinator_rebalance_latency_micros_count{stage="total"}' "$OUT/metrics.txt" \
+    || fail "/metrics missing the rebalance-span histogram"
+grep -q 'coordinator_rebalance_latency_micros_p99{stage="total"}' "$OUT/metrics.txt" \
+    || fail "/metrics missing the derived p99 gauge"
+
+# /debug/pprof/: the profiling index and one real profile.
+curl -sf "http://$METRICS_ADDR/debug/pprof/" | grep -q goroutine \
+    || fail "/debug/pprof/ index broken"
+curl -sf "http://$METRICS_ADDR/debug/pprof/goroutine?debug=1" | grep -q "goroutine profile" \
+    || fail "goroutine profile broken"
+
+# /debug/vars: expvar JSON with the runtime's memstats and the
+# published coordinator snapshot.
+curl -sf "http://$METRICS_ADDR/debug/vars" >"$OUT/vars.json" \
+    || fail "/debug/vars unreachable"
+grep -q '"memstats"' "$OUT/vars.json" || fail "/debug/vars missing memstats"
+grep -q '"coordinator"' "$OUT/vars.json" || fail "/debug/vars missing the coordinator snapshot"
+
+# Flight recorder via the events op: the setload-triggered rebalance
+# span must be in the ring.
+"$OUT/procctl-top" -connect "unix:$SOCK" -events 0 >"$OUT/events.txt"
+grep -q rebalance "$OUT/events.txt" || fail "flight recorder shows no rebalance event"
+
+# Clean shutdown.
+kill "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+trap - EXIT
+echo "daemon-smoke: OK"
