@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet procctl-vet test race bench bench-go trace-smoke daemon-smoke
+.PHONY: check build vet procctl-vet test race fuzz-smoke bench bench-go trace-smoke daemon-smoke
 
 # The full verification gate: what CI runs, in dependency order.
-check: build vet procctl-vet test race trace-smoke
+check: build vet procctl-vet test race fuzz-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ procctl-vet:
 	$(GO) run ./cmd/procctl-vet ./internal/faultinject/...
 	$(GO) run ./cmd/procctl-vet ./internal/trace/...
 	$(GO) run ./cmd/procctl-vet ./cmd/procctl-bench/...
+	$(GO) run ./cmd/procctl-vet ./internal/journal/...
 
 test:
 	$(GO) test ./...
@@ -30,6 +31,16 @@ test:
 # single-threaded by construction and needs no race pass.
 race:
 	$(GO) test -race ./internal/runtime/...
+
+# Short fuzz passes over the journal's frame decoder and fsck, on top of
+# the committed corpus under internal/journal/testdata/fuzz. Five
+# seconds each is a smoke, not a campaign — run longer campaigns with
+# e.g. `go test -fuzz=FuzzFsck -fuzztime=10m ./internal/journal`.
+# (go test accepts one -fuzz pattern per invocation, hence two runs.)
+FUZZ_TIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRecord -fuzztime=$(FUZZ_TIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz=FuzzFsck -fuzztime=$(FUZZ_TIME) ./internal/journal
 
 # Performance-regression harness: run the engine/kernel microbenchmarks
 # and the Fig4 end-to-end benchmark, write a schema'd BENCH_<date>.json,

@@ -31,6 +31,7 @@ import (
 	"procctl/internal/apps"
 	"procctl/internal/experiments"
 	"procctl/internal/flight"
+	"procctl/internal/journal"
 	"procctl/internal/kernel"
 	"procctl/internal/machine"
 	"procctl/internal/metrics"
@@ -420,6 +421,66 @@ func curated() []bench {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				experiments.Fig4(experiments.Options{Seed: 1, Seeds: 1}, nil)
+			}
+		}},
+		// JournalAppend measures the daemon's durability hot path; its
+		// baseline allocs/op is 0 and the comparison tolerates no
+		// increase, so this is the append path's zero-alloc gate.
+		{name: "JournalAppend", extra: events, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			dir, err := os.MkdirTemp("", "procctl-bench-journal")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			w, err := journal.Open(dir, 1, journal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			rec := journal.Record{At: 1, Kind: journal.KindTarget, App: "bench-app", A: 7, B: 3}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// Recovery10kRecords measures boot-time fsck+replay over a 10k
+		// record journal — the restart-latency budget.
+		{name: "Recovery10kRecords", fn: func(b *testing.B) {
+			b.ReportAllocs()
+			dir, err := os.MkdirTemp("", "procctl-bench-recover")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			w, err := journal.Open(dir, 1, journal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 10_000; i++ {
+				rec := journal.Record{At: int64(i), Kind: journal.KindTarget,
+					App: fmt.Sprintf("app%d", i%32), A: int64(i % 16), B: int64((i + 1) % 16)}
+				if i%50 == 0 {
+					rec.Kind = journal.KindRegister
+				}
+				if _, err := w.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := journal.Recover(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Replayed != 10_000 {
+					b.Fatalf("replayed %d records, want 10000", res.Replayed)
+				}
 			}
 		}},
 	}

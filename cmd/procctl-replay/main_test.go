@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"procctl/internal/journal"
+)
+
+// buildJournal writes a small live-shaped journal: setcapacity,
+// registrations, rebalances with target decisions computed the way the
+// daemon computes them (equal split of 8 over two members, capped by
+// procs), then an unregister.
+func buildJournal(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := journal.Open(dir, 1, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	app := func(kind, name string, a, b int64) {
+		t.Helper()
+		if _, err := w.Append(journal.Record{At: 1, Kind: kind, App: name, A: a, B: b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app(journal.KindSetCapacity, "", 8, 0)
+	app(journal.KindRebalance, "", 0, 0)
+	app(journal.KindRegister, "web", 6, 0)
+	app(journal.KindRebalance, "", 10, 1)
+	app(journal.KindTarget, "web", 6, 0)
+	app(journal.KindRegister, "batch", 6, 0)
+	app(journal.KindRebalance, "", 10, 2)
+	app(journal.KindTarget, "web", 4, 6)
+	app(journal.KindTarget, "batch", 4, 0)
+	app(journal.KindUnregister, "batch", 4, 0)
+	app(journal.KindRebalance, "", 10, 1)
+	app(journal.KindTarget, "web", 6, 4)
+	return dir
+}
+
+func TestFsckCleanAndState(t *testing.T) {
+	dir := buildJournal(t)
+	var out strings.Builder
+	if err := runFsck(&out, dir, nil); err != nil {
+		t.Fatalf("fsck: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Errorf("fsck output missing clean: %q", out.String())
+	}
+
+	out.Reset()
+	if err := runState(&out, dir); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "capacity 8") || !strings.Contains(got, "web") ||
+		strings.Contains(got, "batch") {
+		t.Errorf("state output wrong:\n%s", got)
+	}
+}
+
+func TestFsckRepairsTornTail(t *testing.T) {
+	dir := buildJournal(t)
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runFsck(&out, dir, nil); err == nil {
+		t.Fatalf("fsck accepted a torn tail:\n%s", out.String())
+	}
+	out.Reset()
+	if err := runFsck(&out, dir, []string{"-repair"}); err != nil {
+		t.Fatalf("fsck -repair: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := runFsck(&out, dir, nil); err != nil {
+		t.Fatalf("fsck after repair: %v\n%s", err, out.String())
+	}
+}
+
+func TestDumpListsRecords(t *testing.T) {
+	dir := buildJournal(t)
+	var out strings.Builder
+	if err := runDump(&out, dir); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"register", "rebalance", "target", "unregister"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDiffMatchesAndDetects(t *testing.T) {
+	dir := buildJournal(t)
+	var out strings.Builder
+	if err := runDiff(&out, dir, []string{"-capacity", "8"}); err != nil {
+		t.Fatalf("diff: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Errorf("diff output:\n%s", out.String())
+	}
+
+	// A journal whose recorded decision contradicts the policy fails.
+	w, err := journal.Open(dir, 13, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []journal.Record{
+		{At: 2, Kind: journal.KindRebalance, A: 10, B: 1},
+		{At: 2, Kind: journal.KindTarget, App: "web", A: 1, B: 6},
+	} {
+		if _, err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	out.Reset()
+	if err := runDiff(&out, dir, []string{"-capacity", "8"}); err == nil {
+		t.Fatalf("diff accepted a bogus decision:\n%s", out.String())
+	}
+}

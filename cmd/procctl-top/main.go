@@ -8,6 +8,7 @@
 // Usage:
 //
 //	procctl-top [-connect unix:/tmp/procctld.sock] [-watch 2s] [-metrics] [-events N] [-setload N]
+//	            [-hold NAME:PROCS[:WEIGHT]]
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -38,6 +41,7 @@ func main() {
 		metrics = flag.Bool("metrics", false, "show the daemon's metrics snapshot instead of the status table")
 		events  = flag.Int("events", -1, "dump the daemon's newest N flight-recorder events (0 = all retained) and exit")
 		setload = flag.Int("setload", -1, "report this uncontrollable load to the daemon and exit")
+		hold    = flag.String("hold", "", "register NAME:PROCS[:WEIGHT] and keep polling until interrupted (a minimal durable client, for recovery drills)")
 	)
 	flag.Parse()
 
@@ -57,6 +61,13 @@ func main() {
 			log.Fatalf("procctl-top: %v", err)
 		}
 		fmt.Printf("external load set to %d\n", *setload)
+		return
+	}
+
+	if *hold != "" {
+		if err := holdLoop(client, *hold); err != nil {
+			log.Fatalf("procctl-top: %v", err)
+		}
 		return
 	}
 
@@ -114,6 +125,54 @@ func main() {
 		if c, derr := coordinator.Dial(network, addr); derr == nil {
 			client.Close()
 			client = c
+		}
+	}
+}
+
+// holdLoop registers NAME:PROCS[:WEIGHT] and polls once a second until
+// SIGINT/SIGTERM, printing each target change. It deliberately never
+// unregisters: killed or interrupted, the daemon's lease (or its
+// journal, across a restart) decides what happens to the name — which
+// is exactly what recovery drills need to observe.
+func holdLoop(client *coordinator.Client, spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("bad -hold %q (want NAME:PROCS[:WEIGHT])", spec)
+	}
+	name := parts[0]
+	procs, err := strconv.Atoi(parts[1])
+	if err != nil || procs < 1 {
+		return fmt.Errorf("bad -hold procs %q", parts[1])
+	}
+	weight := 0
+	if len(parts) == 3 {
+		if weight, err = strconv.Atoi(parts[2]); err != nil || weight < 1 {
+			return fmt.Errorf("bad -hold weight %q", parts[2])
+		}
+	}
+	target, err := client.RegisterWeighted(name, procs, weight)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s registered: procs=%d weight=%d target=%d\n", name, procs, weight, target)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-tick.C:
+			t, err := client.Poll(name)
+			if err != nil {
+				return err
+			}
+			if t != target {
+				fmt.Printf("%s target %d -> %d\n", name, target, t)
+				target = t
+			}
 		}
 	}
 }

@@ -12,7 +12,17 @@
 //
 // Usage:
 //
+// Durability: with -journal-dir, every membership and target transition
+// is appended to a CRC-framed write-ahead log with periodic snapshots.
+// On restart the daemon fscks the journal (truncating any torn tail),
+// replays it, and serves the recovered registry immediately — clients
+// re-poll, they never re-register. procctl-replay audits the same
+// journal offline.
+//
+// Usage:
+//
 //	procctld [-listen unix:/tmp/procctld.sock] [-capacity N] [-metrics HOST:PORT]
+//	         [-journal-dir DIR] [-snapshot-every N] [-fsync-every N]
 //	         [-log-level debug|info|warn|error] [-log-json] [-v]
 package main
 
@@ -33,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"procctl/internal/journal"
 	"procctl/internal/runtime/coordinator"
 )
 
@@ -42,6 +53,9 @@ func main() {
 		capacity = flag.Int("capacity", runtime.NumCPU(), "processors to divide among applications")
 		metrics  = flag.String("metrics", "", "serve metrics, pprof, and expvar over HTTP at this address (e.g. 127.0.0.1:9717)")
 		lease    = flag.Duration("lease", coordinator.DefaultLease, "unregister members whose connection is silent this long (0 disables)")
+		jdir     = flag.String("journal-dir", "", "persist every membership and target transition here; on restart the registry is recovered without client re-registration")
+		snapEvry = flag.Int("snapshot-every", 1024, "write a snapshot after this many journal records (0 disables periodic snapshots; a final one is still written on clean shutdown)")
+		syncEvry = flag.Int("fsync-every", 0, "fsync the journal after this many appends (1 = every append, 0 = the journal's default batch of 64)")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON lines instead of text")
 		verbose  = flag.Bool("v", false, "log registrations and rebalances (shorthand for -log-level debug)")
@@ -74,6 +88,58 @@ func main() {
 	}
 	coord := coordinator.New(*capacity)
 	srv := coordinator.NewServerWith(coord, ln, coordinator.ServerConfig{Lease: leaseCfg})
+
+	// Durability: recover the previous incarnation's registry from the
+	// journal, then attach a writer so this incarnation's transitions
+	// are captured too. Restored members get one fresh lease to be
+	// claimed by a re-connecting client before the sweep reclaims them.
+	var jw *journal.Writer
+	if *jdir != "" {
+		start := time.Now()
+		res, err := journal.Recover(*jdir)
+		if err != nil {
+			fatal(logger, "journal recover", err)
+		}
+		restored := 0
+		if res.Replayed > 0 || len(res.State.Members) > 0 {
+			restored = srv.Restore(res.State, start)
+		}
+		jw, err = journal.Open(*jdir, res.NextSeq, journal.Options{
+			SyncEvery:     *syncEvry,
+			SnapshotEvery: *snapEvry,
+			Metrics:       coord.Metrics(),
+		})
+		if err != nil {
+			fatal(logger, "journal open", err)
+		}
+		coord.SetJournal(jw)
+		reg := coord.Metrics()
+		reg.Gauge("journal_recovery_micros", "time the last boot spent recovering the journal").Set(time.Since(start).Microseconds())
+		reg.Gauge("journal_recovered_members", "members restored from the journal at the last boot").Set(int64(restored))
+		reg.Gauge("journal_recovered_records", "records replayed from the journal at the last boot").Set(int64(res.Replayed))
+		reg.Gauge("journal_truncated_bytes", "bytes of torn or corrupt tail discarded at the last boot").Set(res.TruncatedBytes)
+		// The restart record goes first so a replay re-sorts the
+		// membership the way Restore just did; then capacity, so the
+		// replayer divides the same total this incarnation does.
+		if restored > 0 {
+			coord.RecordEvent(journal.ToFlight(journal.Record{
+				At: start.UnixMicro(), Kind: journal.KindRestart,
+				A: int64(restored), B: res.TruncatedBytes,
+			}))
+		}
+		if err := coord.SetCapacity(*capacity); err != nil {
+			fatal(logger, "set capacity", err)
+		}
+		coord.Rebalance()
+		for _, note := range res.Notes {
+			logger.Warn("journal fsck", "note", note)
+		}
+		logger.Info("journal recovered",
+			"dir", *jdir, "members", restored, "records", res.Replayed,
+			"snapshot_seq", res.SnapshotSeq, "truncated_bytes", res.TruncatedBytes,
+			"took", time.Since(start).String())
+	}
+
 	logger.Info("procctld started",
 		"capacity", *capacity, "addr", ln.Addr().String(), "lease", lease.String())
 
@@ -116,19 +182,40 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	shuttingDown := make(chan struct{}) // closed once a signal arrives
+	shutdownDone := make(chan struct{}) // closed when shutdown work finished
 	go func() {
 		<-sig
+		close(shuttingDown)
 		logger.Info("shutting down")
 		if metricsSrv != nil {
 			metricsSrv.Close()
 		}
 		srv.Close()
+		if jw != nil {
+			// Close-path unregisters are quiet, so the registry is
+			// still intact: seal it into a final snapshot for the next
+			// incarnation, then stop journaling.
+			if err := jw.WriteSnapshot(srv.JournalState(time.Now().UnixMicro())); err != nil {
+				logger.Error("final snapshot failed", "err", err)
+			}
+			jw.Close()
+		}
 		if network == "unix" {
 			os.Remove(addr)
 		}
+		close(shutdownDone)
 	}()
 
-	if err := srv.Serve(); err != nil && !isClosed(err) {
+	err = srv.Serve()
+	// Serve returns as soon as srv.Close() runs; if that was the signal
+	// path, wait for the final snapshot before exiting the process.
+	select {
+	case <-shuttingDown:
+		<-shutdownDone
+	default:
+	}
+	if err != nil && !isClosed(err) {
 		fatal(logger, "serve", err)
 	}
 }

@@ -120,6 +120,11 @@ var SimPackages = []string{
 	"internal/metrics",
 	"internal/faultinject",
 	"internal/flight",
+	// journal is imported by ctrl's replay harness: its record encoding
+	// and replay semantics must be pure (injected clocks, no map
+	// iteration) so journal replay is a pure function of the record
+	// stream.
+	"internal/journal",
 }
 
 // OrderedPackages lists additional package prefixes where map-iteration

@@ -1,0 +1,243 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"procctl/internal/journal"
+	"procctl/internal/kernel"
+	"procctl/internal/machine"
+	"procctl/internal/sim"
+)
+
+// Replayer feeds a captured daemon journal through the deterministic
+// simulated server, reproducing the live coordinator's allocation
+// inputs record by record. Membership records mutate the sim registry
+// exactly the way the daemon's control loop mutated its own (including
+// re-register moving a member to the end of the tie-break order and a
+// restart re-seating members in name order); rebalance records trigger
+// a Scan; the target decisions each Scan produces are returned so
+// DiffJournal can hold them against the target records the live daemon
+// actually journaled. Both sides run the same policy (internal/core)
+// over the same inputs in the same order, so any diff is a real
+// divergence: a decision the daemon made that the policy does not
+// explain.
+type Replayer struct {
+	s        *Server
+	idByName map[string]kernel.AppID
+	nameByID map[kernel.AppID]string
+	nextID   kernel.AppID
+}
+
+// Decision is one target change a replayed Scan produced, in the same
+// order and with the same change-only dedup as the live coordinator's
+// journaled target records.
+type Decision struct {
+	App    string
+	Target int
+	Prev   int
+}
+
+// NewReplayer builds a replayer dividing the given capacity. The sim
+// kernel underneath holds no processes — every allocation input comes
+// from the journal — and leases are disabled: expiry decisions were the
+// live daemon's to make, and arrive as records.
+func NewReplayer(capacity int) *Replayer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	eng := sim.NewEngine(1)
+	mac := machine.New(machine.Config{NumCPU: capacity})
+	k := kernel.New(eng, mac, kernel.NewTimeshare(), kernel.Config{Quantum: 50 * sim.Millisecond, QuantumJitter: -1})
+	s := NewServer(k, 0)
+	s.SetLease(0)
+	s.capacity = capacity
+	return &Replayer{
+		s:        s,
+		idByName: make(map[string]kernel.AppID),
+		nameByID: make(map[kernel.AppID]string),
+		nextID:   1,
+	}
+}
+
+// Server exposes the underlying sim server (tests, state dumps).
+func (r *Replayer) Server() *Server { return r.s }
+
+// idFor maps a journal app name to a stable sim AppID.
+func (r *Replayer) idFor(name string) kernel.AppID {
+	if id, ok := r.idByName[name]; ok {
+		return id
+	}
+	id := r.nextID
+	r.nextID++
+	r.idByName[name] = id
+	r.nameByID[id] = name
+	return id
+}
+
+// Seed primes the replayer from a snapshot base state: the position
+// ReadAll's record stream continues from. Snapshot members are name-
+// sorted, which is exactly the order a restarted daemon re-seats them
+// in, so the tie-break order matches the incarnation that wrote the
+// records that follow.
+func (r *Replayer) Seed(st journal.State) {
+	if st.Capacity > 0 {
+		r.s.capacity = st.Capacity
+	}
+	r.s.external = st.External
+	for _, m := range st.Members {
+		id := r.idFor(m.Name)
+		r.s.registered[id] = m.Procs
+		r.s.order = append(r.s.order, id)
+		if m.Weight > 0 {
+			r.s.weights[id] = m.Weight
+		}
+		r.s.targets[id] = m.Target
+	}
+}
+
+// Apply folds one non-target, non-rebalance record into the sim
+// registry. Target records are decisions (DiffJournal compares them);
+// rebalance records trigger Scan (see that method).
+func (r *Replayer) Apply(rec journal.Record) {
+	switch rec.Kind {
+	case journal.KindRegister:
+		id := r.idFor(rec.App)
+		if _, ok := r.s.registered[id]; ok {
+			// Re-register: the live coordinator moves the member to the
+			// end of the tie-break order but keeps its pushed-target
+			// memory; mirror both.
+			r.s.dropOrder(id)
+		}
+		r.s.registered[id] = int(rec.A)
+		r.s.order = append(r.s.order, id)
+		if rec.B > 0 {
+			r.s.weights[id] = int(rec.B)
+		} else {
+			delete(r.s.weights, id)
+		}
+	case journal.KindUnregister, journal.KindLeaseExpiry:
+		if id, ok := r.idByName[rec.App]; ok {
+			r.s.drop(id)
+		}
+	case journal.KindSetLoad:
+		r.s.external = int(rec.A)
+	case journal.KindSetCapacity:
+		r.s.capacity = int(rec.A)
+	case journal.KindRestart:
+		// The restarted daemon re-seated the surviving members in name
+		// order; realign the tie-break order to match.
+		r.s.sortOrderBy(func(a, b kernel.AppID) bool {
+			return r.nameByID[a] < r.nameByID[b]
+		})
+	}
+}
+
+// Scan runs one recompute over the current replayed inputs and returns
+// the target changes it produced, in the live coordinator's
+// notification order.
+func (r *Replayer) Scan() []Decision {
+	before := make(map[kernel.AppID]int, len(r.s.order))
+	had := make(map[kernel.AppID]bool, len(r.s.order))
+	for _, id := range r.s.order {
+		if t, ok := r.s.targets[id]; ok {
+			before[id] = t
+			had[id] = true
+		}
+	}
+	r.s.Scan()
+	var out []Decision
+	for _, id := range r.s.order {
+		now, ok := r.s.targets[id]
+		if !ok {
+			continue
+		}
+		if !had[id] || before[id] != now {
+			out = append(out, Decision{App: r.nameByID[id], Target: now, Prev: before[id]})
+		}
+	}
+	return out
+}
+
+// dropOrder removes id from the registration order only.
+func (s *Server) dropOrder(id kernel.AppID) {
+	for i, a := range s.order {
+		if a == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// sortOrderBy stably insertion-sorts the registration order.
+func (s *Server) sortOrderBy(less func(a, b kernel.AppID) bool) {
+	for i := 1; i < len(s.order); i++ {
+		for j := i; j > 0 && less(s.order[j], s.order[j-1]); j-- {
+			s.order[j], s.order[j-1] = s.order[j-1], s.order[j]
+		}
+	}
+}
+
+// Mismatch is one divergence between the journal's recorded decisions
+// and the sim replay.
+type Mismatch struct {
+	Seq  uint64 // journal record the divergence was detected at (0 = end of log)
+	What string
+}
+
+// DiffResult summarizes a record/replay comparison.
+type DiffResult struct {
+	Records    int // journal records fed through the replayer
+	Scans      int // rebalance epochs replayed
+	Decisions  int // journaled target decisions checked
+	Mismatches []Mismatch
+}
+
+// OK reports whether the live daemon and the sim replay decided
+// identically.
+func (d *DiffResult) OK() bool { return len(d.Mismatches) == 0 }
+
+// DiffJournal replays a captured record stream and diffs every target
+// decision the live daemon journaled against what the deterministic
+// sim server computes from the same inputs. base and recs come from
+// journal.ReadAll; capacity seeds the divisible total until the first
+// setcapacity record (a journaled daemon always writes one at boot).
+func DiffJournal(base journal.State, recs []journal.Record, capacity int) *DiffResult {
+	r := NewReplayer(capacity)
+	r.Seed(base)
+	res := &DiffResult{}
+	var queue []Decision
+	flush := func(seq uint64) {
+		for _, d := range queue {
+			res.Mismatches = append(res.Mismatches, Mismatch{Seq: seq,
+				What: fmt.Sprintf("sim decided %s -> %d (was %d) but the journal records no matching target", d.App, d.Target, d.Prev)})
+		}
+		queue = nil
+	}
+	for _, rec := range recs {
+		res.Records++
+		switch rec.Kind {
+		case journal.KindTarget:
+			res.Decisions++
+			if len(queue) == 0 {
+				res.Mismatches = append(res.Mismatches, Mismatch{Seq: rec.Seq,
+					What: fmt.Sprintf("journal says %s -> %d but sim made no further decision this epoch", rec.App, rec.A)})
+				continue
+			}
+			d := queue[0]
+			queue = queue[1:]
+			if d.App != rec.App || int64(d.Target) != rec.A || int64(d.Prev) != rec.B {
+				res.Mismatches = append(res.Mismatches, Mismatch{Seq: rec.Seq,
+					What: fmt.Sprintf("journal says %s -> %d (was %d); sim decided %s -> %d (was %d)",
+						rec.App, rec.A, rec.B, d.App, d.Target, d.Prev)})
+			}
+		case journal.KindRebalance:
+			flush(rec.Seq)
+			res.Scans++
+			queue = r.Scan()
+		default:
+			r.Apply(rec)
+		}
+	}
+	flush(0)
+	return res
+}

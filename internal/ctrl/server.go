@@ -48,6 +48,15 @@ type Server struct {
 	registered map[kernel.AppID]int // app -> processes it was started with
 	order      []kernel.AppID       // registration order (deterministic)
 	targets    map[kernel.AppID]int
+	weights    map[kernel.AppID]int // fair-share weight (absent = 1)
+
+	// capacity, when positive, overrides the kernel's processor count
+	// as the divisible total; external adds uncontrollable load beyond
+	// what the kernel observes. Both exist so a journal replay can
+	// reproduce a live daemon's inputs (the daemon has no kernel to
+	// count processes from); zero values keep the classic behavior.
+	capacity int
+	external int
 
 	lease    sim.Duration
 	lastSeen map[kernel.AppID]sim.Time // last Register/Poll per app
@@ -77,6 +86,7 @@ func NewServer(k *kernel.Kernel, interval sim.Duration) *Server {
 		interval:   interval,
 		registered: make(map[kernel.AppID]int),
 		targets:    make(map[kernel.AppID]int),
+		weights:    make(map[kernel.AppID]int),
 		lease:      DefaultLease,
 		lastSeen:   make(map[kernel.AppID]sim.Time),
 		scans:      k.Metrics().Counter("sim_ctrl_scans_total", "central-server target recomputations"),
@@ -94,6 +104,35 @@ func NewServer(k *kernel.Kernel, interval sim.Duration) *Server {
 // SetLease changes how long an application may stay silent before the
 // server reclaims its allocation. Non-positive disables expiry.
 func (s *Server) SetLease(d sim.Duration) { s.lease = d }
+
+// SetCapacity overrides the divisible processor total (the live
+// daemon's -capacity). Non-positive restores the kernel's count.
+func (s *Server) SetCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.capacity = n
+	s.record(flight.Event{Kind: flight.KindSetCapacity, A: int64(n)})
+}
+
+// SetExternalLoad reports uncontrollable load beyond what the kernel
+// observes, mirroring the daemon's setload op.
+func (s *Server) SetExternalLoad(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.external = n
+	s.record(flight.Event{Kind: flight.KindSetLoad, A: int64(n)})
+}
+
+// numCPU is the divisible processor total: the override when set, the
+// kernel's count otherwise.
+func (s *Server) numCPU() int {
+	if s.capacity > 0 {
+		return s.capacity
+	}
+	return s.k.NumCPU()
+}
 
 // Lease returns the current lease duration.
 func (s *Server) Lease() sim.Duration { return s.lease }
@@ -118,11 +157,23 @@ func (s *Server) Unregister(id kernel.AppID) {
 	s.Scan() // freed processors are redistributed promptly
 }
 
+// RegisterWeighted is Register with an explicit fair-share weight
+// (non-positive means 1, matching core.Demand).
+func (s *Server) RegisterWeighted(id kernel.AppID, procs, weight int) {
+	if weight > 0 {
+		s.weights[id] = weight
+	} else {
+		delete(s.weights, id)
+	}
+	s.Register(id, procs)
+}
+
 // drop removes every trace of an application without rescanning.
 func (s *Server) drop(id kernel.AppID) {
 	delete(s.registered, id)
 	delete(s.targets, id)
 	delete(s.lastSeen, id)
+	delete(s.weights, id)
 	for i, a := range s.order {
 		if a == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
@@ -210,14 +261,15 @@ func (s *Server) Scan() {
 	perApp, uncontrolled := s.k.CountByApp()
 
 	// Runnable processes of parallel applications that never registered
-	// count as uncontrollable load too.
+	// count as uncontrollable load too, as does reported external load.
 	for app, n := range perApp {
 		if _, ok := s.registered[app]; !ok {
 			uncontrolled += n
 		}
 	}
+	uncontrolled += s.external
 
-	avail := core.Available(s.k.NumCPU(), uncontrolled)
+	avail := core.Available(s.numCPU(), uncontrolled)
 	demands := make([]core.Demand, len(s.order))
 	for i, app := range s.order {
 		// Cap at the number of processes the application still has
@@ -226,7 +278,7 @@ func (s *Server) Scan() {
 		if max == 0 {
 			max = s.registered[app]
 		}
-		demands[i] = core.Demand{Max: max}
+		demands[i] = core.Demand{Max: max, Weight: s.weights[app]}
 	}
 	alloc := core.Allocate(avail, demands)
 	for i, app := range s.order {

@@ -28,6 +28,10 @@ const (
 	KindRedial      = "redial"       // client lost the daemon and is re-dialing; A = attempt count
 	KindReconnect   = "reconnect"    // client re-dialed and re-registered; A = applied target
 	KindScan        = "scan"         // sim ctrl recompute; A = scan number, B = targets changed
+	KindSetLoad     = "setload"      // external load reported; A = new load
+	KindSetCapacity = "setcapacity"  // managed capacity changed; A = new capacity
+	KindRestart     = "restart"      // daemon recovered its journal; A = members restored, B = bytes fsck truncated
+	KindSnapshot    = "snapshot"     // registry snapshot written; A = last journaled seq
 )
 
 // Event is one recorded occurrence. At is microseconds on the

@@ -1,0 +1,54 @@
+package journal
+
+import "procctl/internal/flight"
+
+// The journal and the flight recorder deliberately share an event
+// shape: a journal Record is a flight Event that has been promoted to
+// durable history. FromFlight is the promotion rule — the single place
+// that decides which control-plane events are state transitions worth
+// persisting and which are observability-only.
+
+// durableKinds maps flight kinds to journal kinds (identical strings
+// today, but the mapping keeps the two vocabularies independently
+// evolvable). Kinds absent here — scan, redial, reconnect, snapshot —
+// describe the observation layer, not the registry, and are not
+// journaled.
+func durableKind(kind string) (string, bool) {
+	switch kind {
+	case flight.KindRegister:
+		return KindRegister, true
+	case flight.KindUnregister:
+		return KindUnregister, true
+	case flight.KindLeaseExpiry:
+		return KindLeaseExpiry, true
+	case flight.KindTarget:
+		return KindTarget, true
+	case flight.KindRebalance:
+		return KindRebalance, true
+	case flight.KindSetLoad:
+		return KindSetLoad, true
+	case flight.KindSetCapacity:
+		return KindSetCapacity, true
+	case flight.KindRestart:
+		return KindRestart, true
+	}
+	return "", false
+}
+
+// FromFlight converts a flight event to the journal record it should
+// persist as. ok is false for observability-only kinds, which must not
+// be journaled (Seq on the returned record is left zero; Append assigns
+// the durable sequence — flight and journal number independently).
+func FromFlight(ev flight.Event) (Record, bool) {
+	kind, ok := durableKind(ev.Kind)
+	if !ok {
+		return Record{}, false
+	}
+	return Record{At: ev.At, Kind: kind, App: ev.App, A: ev.A, B: ev.B}, true
+}
+
+// ToFlight converts a journal record back to a flight event, for tools
+// that render both streams with the same code.
+func ToFlight(r Record) flight.Event {
+	return flight.Event{Seq: r.Seq, At: r.At, Kind: r.Kind, App: r.App, A: r.A, B: r.B}
+}

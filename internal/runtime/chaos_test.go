@@ -7,7 +7,10 @@ package runtime_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"net"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"testing"
@@ -17,8 +20,10 @@ import (
 	"procctl/internal/ctrl"
 	"procctl/internal/faultinject"
 	"procctl/internal/flight"
+	"procctl/internal/journal"
 	"procctl/internal/kernel"
 	"procctl/internal/machine"
+	"procctl/internal/metrics"
 	"procctl/internal/runtime/coordinator"
 	"procctl/internal/runtime/pool"
 	"procctl/internal/sim"
@@ -331,6 +336,156 @@ func TestChaosFlightRecorderTellsTheStory(t *testing.T) {
 	drv.Stop()
 	p.Close()
 	p.Wait()
+}
+
+// buildProcctld compiles the real daemon binary once per test run.
+func buildProcctld(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "procctld")
+	cmd := exec.Command("go", "build", "-o", bin, "procctl/cmd/procctld")
+	cmd.Dir = "../.." // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building procctld: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startProcctld launches the daemon binary and waits for its socket.
+func startProcctld(t *testing.T, bin, sock, jdir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-listen", "unix:"+sock,
+		"-capacity", "8",
+		"-journal-dir", jdir,
+		"-fsync-every", "1", // every transition durable before it is acked
+	)
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	waitFor(t, 5*time.Second, func() bool {
+		c, err := coordinator.Dial("unix", sock)
+		if err != nil {
+			return false
+		}
+		c.Close()
+		return true
+	}, "daemon socket never came up")
+	return cmd
+}
+
+// TestChaosSIGKILLRecovery is the durability drill: a real procctld is
+// killed with SIGKILL mid-traffic and restarted on its journal. The
+// restarted daemon must serve the full registry — names, process
+// counts, weights, and last pushed targets, byte-for-byte what the
+// journal held at the kill — before any client re-registers.
+func TestChaosSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and execs the real daemon")
+	}
+	bin := buildProcctld(t)
+	sock := filepath.Join(t.TempDir(), "procctld.sock")
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	daemon1 := startProcctld(t, bin, sock, jdir)
+	c, err := coordinator.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Registration order matches name order on purpose: the restart
+	// re-seats members sorted by name, and allocation hands out
+	// processors in member order, so any other order would make the
+	// boot rebalance legitimately shift targets (see DESIGN.md).
+	if _, err := c.Register("batch", 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RegisterWeighted("web", 6, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Churn so the journal holds more than the initial transitions.
+	for i := 0; i < 5; i++ {
+		if err := c.SetExternalLoad(i % 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SetExternalLoad(2); err != nil {
+		t.Fatal(err)
+	}
+
+	// What the journal can prove at the moment of death (-fsync-every 1:
+	// every acked op is already on disk).
+	pre, err := journal.Recover(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preJSON, err := json.Marshal(pre.State.Members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre.State.Members) != 2 {
+		t.Fatalf("pre-kill journal holds %d members, want 2", len(pre.State.Members))
+	}
+
+	if err := daemon1.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatal(err)
+	}
+	daemon1.Wait()
+
+	startProcctld(t, bin, sock, jdir)
+	c2, err := coordinator.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// The registry must be served before any client re-registers.
+	st, err := c2.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExternalLoad != 2 {
+		t.Errorf("external load after recovery = %d, want 2", st.ExternalLoad)
+	}
+	byName := map[string]coordinator.AppStatus{}
+	for _, a := range st.Apps {
+		byName[a.Name] = a
+	}
+	for _, m := range pre.State.Members {
+		got, ok := byName[m.Name]
+		if !ok || got.Procs != m.Procs || got.Weight != m.Weight || got.Target != m.Target {
+			t.Errorf("recovered %s = %+v, journal says procs=%d weight=%d target=%d",
+				m.Name, got, m.Procs, m.Weight, m.Target)
+		}
+	}
+
+	// Zero re-registrations: the recovery came from the journal alone.
+	snap, err := c2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := snap.Get(metrics.Name("coordinator_rpcs_total", "op", coordinator.OpRegister)); m != nil && m.Value != 0 {
+		t.Errorf("restarted daemon served %d register RPCs before the check", m.Value)
+	}
+
+	// And the journal itself replays to the identical membership.
+	post, err := journal.Recover(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postJSON, err := json.Marshal(post.State.Members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(preJSON) != string(postJSON) {
+		t.Errorf("registry changed across SIGKILL\n pre  %s\n post %s", preJSON, postJSON)
+	}
 }
 
 // TestChaosSimFaultStormDeterministic throws every simulated fault at

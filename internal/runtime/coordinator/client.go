@@ -118,6 +118,16 @@ func (c *Client) Register(app string, procs int) (int, error) {
 	return c.register(app, procs, nil)
 }
 
+// RegisterWeighted is Register with an explicit fair-share weight
+// (weights below 1 are treated as 1 by the coordinator).
+func (c *Client) RegisterWeighted(app string, procs, weight int) (int, error) {
+	resp, err := c.roundTrip(&Request{Op: OpRegister, App: app, Procs: procs, Weight: weight})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Target, nil
+}
+
 func (c *Client) register(app string, procs int, spin *float64) (int, error) {
 	resp, err := c.roundTrip(&Request{Op: OpRegister, App: app, Procs: procs, SpinPct: spin})
 	if err != nil {

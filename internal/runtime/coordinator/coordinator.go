@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"procctl/internal/core"
 	"procctl/internal/flight"
+	"procctl/internal/journal"
 	"procctl/internal/metrics"
 )
 
@@ -59,6 +61,12 @@ type Coordinator struct {
 	met        coordMetrics
 
 	rec *flight.Recorder
+
+	// jrn, when set, tees every durable flight event (see
+	// journal.FromFlight) into the write-ahead journal. The pointer is
+	// atomic so appends never serialize on a coordinator lock, and
+	// journal I/O always happens outside c.mu and pushMu.
+	jrn atomic.Pointer[journal.Writer]
 
 	// pushMu guards the last pushed target per member, so the flight
 	// recorder logs target *changes* rather than every push. It is a
@@ -158,6 +166,39 @@ func New(capacity int) *Coordinator {
 // same exportable snapshot.
 func (c *Coordinator) Metrics() *metrics.Registry { return c.met.reg }
 
+// SetJournal attaches a write-ahead journal: from this point on, every
+// durable control-plane event (registrations, unregistrations, lease
+// expiries, target changes, rebalances, load and capacity changes) is
+// persisted as well as flight-recorded. Pass nil to detach. Journal
+// I/O failures are sticky inside the Writer and never fail the control
+// plane: the daemon keeps rebalancing with durability degraded (see
+// journal_append_errors_total).
+func (c *Coordinator) SetJournal(w *journal.Writer) { c.jrn.Store(w) }
+
+// Journal returns the attached journal writer, if any.
+func (c *Coordinator) Journal() *journal.Writer { return c.jrn.Load() }
+
+// RecordEvent appends ev to the flight recorder and, when its kind is
+// durable and a journal is attached, persists it. Callers must not
+// hold coordinator locks (journal appends do file I/O).
+func (c *Coordinator) RecordEvent(ev flight.Event) {
+	c.rec.Append(ev)
+	c.journalAppend(ev)
+}
+
+// journalAppend tees one flight event into the journal, if attached
+// and the kind is durable. Append errors are deliberately dropped
+// here: the Writer makes them sticky and counts them.
+func (c *Coordinator) journalAppend(ev flight.Event) {
+	w := c.jrn.Load()
+	if w == nil {
+		return
+	}
+	if rec, ok := journal.FromFlight(ev); ok {
+		_, _ = w.Append(rec)
+	}
+}
+
 // Snapshot captures every metric stamped with the current wall-clock
 // instant (Unix microseconds) — the runtime side has no virtual clock.
 func (c *Coordinator) Snapshot() *metrics.Snapshot {
@@ -181,6 +222,7 @@ func (c *Coordinator) SetCapacity(n int) error {
 	c.capacity = n
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
+	c.RecordEvent(flight.Event{At: start.UnixMicro(), Kind: flight.KindSetCapacity, A: int64(n)})
 	c.notify(snap, start)
 	return nil
 }
@@ -197,6 +239,7 @@ func (c *Coordinator) SetExternalLoad(n int) {
 	c.external = n
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
+	c.RecordEvent(flight.Event{At: start.UnixMicro(), Kind: flight.KindSetLoad, A: int64(n)})
 	c.notify(snap, start)
 }
 
@@ -226,12 +269,68 @@ func (c *Coordinator) RegisterWeighted(m Member, weight int) {
 	c.entries = append(c.entries, entry{m: m, name: name, weight: weight})
 	snap := c.snapshotLocked()
 	c.mu.Unlock()
-	c.rec.Append(flight.Event{At: start.UnixMicro(), Kind: flight.KindRegister, App: name, A: int64(m.Workers()), B: int64(weight)})
+	c.RecordEvent(flight.Event{At: start.UnixMicro(), Kind: flight.KindRegister, App: name, A: int64(m.Workers()), B: int64(weight)})
 	c.notify(snap, start)
+}
+
+// RestoreMember re-seats a member recovered from the journal without
+// rebalancing, flight-recording, or journaling: recovery replays
+// history, it does not create it. lastTarget primes the target-change
+// dedup so the post-restore rebalance journals only genuine changes.
+// Members are expected to be restored before the journal is attached
+// and before the server accepts traffic.
+func (c *Coordinator) RestoreMember(m Member, weight, lastTarget int) {
+	if weight < 1 {
+		weight = 1
+	}
+	name := m.Name()
+	c.mu.Lock()
+	c.removeLocked(name)
+	c.entries = append(c.entries, entry{m: m, name: name, weight: weight})
+	c.mu.Unlock()
+	c.pushMu.Lock()
+	c.lastPushed[name] = lastTarget
+	c.pushMu.Unlock()
+}
+
+// RestoreState primes the scalar state recovered from the journal —
+// external load and the lifetime rebalance count — so the restarted
+// daemon continues the old incarnation's durable history instead of
+// restarting it. Like RestoreMember, it neither rebalances nor
+// journals.
+func (c *Coordinator) RestoreState(external int, rebalances int64) {
+	if external < 0 {
+		external = 0
+	}
+	c.mu.Lock()
+	c.external = external
+	c.rebalances = rebalances
+	c.mu.Unlock()
+}
+
+// LastPushed returns the last target actually pushed to the named
+// member, if one ever was.
+func (c *Coordinator) LastPushed(name string) (int, bool) {
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	t, ok := c.lastPushed[name]
+	return t, ok
 }
 
 // Unregister removes the named member and redistributes its processors.
 func (c *Coordinator) Unregister(name string) {
+	c.unregister(name, true)
+}
+
+// UnregisterQuiet is Unregister without the journal append. The
+// server's clean-shutdown path uses it: members dropped because the
+// daemon is exiting are not leaving the fleet, and journaling their
+// departure would make recovery reconstruct an empty registry.
+func (c *Coordinator) UnregisterQuiet(name string) {
+	c.unregister(name, false)
+}
+
+func (c *Coordinator) unregister(name string, durable bool) {
 	start := time.Now()
 	c.mu.Lock()
 	removed := c.removeLocked(name)
@@ -247,7 +346,11 @@ func (c *Coordinator) Unregister(name string) {
 		if hadTarget {
 			a = int64(last)
 		}
-		c.rec.Append(flight.Event{At: start.UnixMicro(), Kind: flight.KindUnregister, App: name, A: a})
+		ev := flight.Event{At: start.UnixMicro(), Kind: flight.KindUnregister, App: name, A: a}
+		c.rec.Append(ev)
+		if durable {
+			c.journalAppend(ev)
+		}
 	}
 	c.notify(snap, start)
 }
@@ -394,7 +497,7 @@ func (c *Coordinator) notify(snap snapshot, start time.Time) {
 	for i, d := range []time.Duration{snapDone.Sub(start), recomputeDone.Sub(snapDone), end.Sub(recomputeDone), end.Sub(start)} {
 		c.met.observeStage(i, d)
 	}
-	c.rec.Append(flight.Event{At: end.UnixMicro(), Kind: flight.KindRebalance,
+	c.RecordEvent(flight.Event{At: end.UnixMicro(), Kind: flight.KindRebalance,
 		A: end.Sub(start).Microseconds(), B: int64(len(snap.entries))})
 	for i, e := range snap.entries {
 		c.noteTarget(e.name, alloc[i], end.UnixMicro())
@@ -410,7 +513,7 @@ func (c *Coordinator) noteTarget(name string, target int, at int64) {
 	c.lastPushed[name] = target
 	c.pushMu.Unlock()
 	if !ok || old != target {
-		c.rec.Append(flight.Event{At: at, Kind: flight.KindTarget, App: name, A: int64(target), B: int64(old)})
+		c.RecordEvent(flight.Event{At: at, Kind: flight.KindTarget, App: name, A: int64(target), B: int64(old)})
 	}
 }
 

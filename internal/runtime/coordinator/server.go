@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"procctl/internal/flight"
+	"procctl/internal/journal"
 	"procctl/internal/metrics"
 )
 
@@ -127,7 +128,13 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]*connState
 	owners map[string]*connState // app name -> owning connection
-	closed bool
+	// recovered holds journal-restored members that no client has
+	// claimed yet. They have no connection, so the sweep owns their
+	// expiry: each gets one fresh lease from the restart instant to be
+	// re-claimed (an OpRegister for the name) before being presumed
+	// dead.
+	recovered map[string]recoveredEntry
+	closed    bool
 
 	handlers sync.WaitGroup // joins per-connection handler goroutines
 	expiries *metrics.Counter
@@ -142,12 +149,13 @@ func NewServer(coord *Coordinator, ln net.Listener) *Server {
 // NewServerWith is NewServer with explicit lease and timeout settings.
 func NewServerWith(coord *Coordinator, ln net.Listener, cfg ServerConfig) *Server {
 	s := &Server{
-		coord:    coord,
-		ln:       ln,
-		cfg:      cfg.withDefaults(),
-		conns:    make(map[net.Conn]*connState),
-		owners:   make(map[string]*connState),
-		expiries: coord.Metrics().Counter("coordinator_lease_expiries_total", "members unregistered because their connection went silent past its lease"),
+		coord:     coord,
+		ln:        ln,
+		cfg:       cfg.withDefaults(),
+		conns:     make(map[net.Conn]*connState),
+		owners:    make(map[string]*connState),
+		recovered: make(map[string]recoveredEntry),
+		expiries:  coord.Metrics().Counter("coordinator_lease_expiries_total", "members unregistered because their connection went silent past its lease"),
 	}
 	s.coord.Metrics().OnCollect(s.collectLeases)
 	return s
@@ -171,8 +179,91 @@ func (s *Server) collectLeases() {
 	}
 }
 
+// recoveredEntry is one journal-restored member awaiting a client: the
+// connection-less remote member re-seated in the coordinator and the
+// deadline by which a client must claim the name.
+type recoveredEntry struct {
+	m        *remoteMember
+	deadline time.Time
+}
+
+// Restore re-seats a recovered registry before the server starts
+// accepting: every journaled member comes back as a connection-less
+// remote member holding its last pushed target, and the coordinator's
+// scalar state (external load, rebalance count) resumes where the old
+// incarnation left off. Recovered members get a fresh lease from now —
+// the daemon cannot know which clients survived its downtime, and the
+// persisted LastSeen predates it — so each has one full lease to
+// re-register before the sweep reclaims its processors. Returns how
+// many members were restored.
+//
+// Restore neither rebalances nor journals; the caller attaches the
+// journal and triggers the first rebalance once boot-time state (a
+// restart record, the capacity flag) has been appended.
+func (s *Server) Restore(st journal.State, now time.Time) int {
+	s.coord.RestoreState(st.External, st.Rebalances)
+	for _, jm := range st.Members {
+		m := &remoteMember{name: jm.Name, procs: jm.Procs}
+		m.target.Store(int64(jm.Target))
+		s.coord.RestoreMember(m, jm.Weight, jm.Target)
+		if s.cfg.Lease > 0 {
+			s.mu.Lock()
+			s.recovered[jm.Name] = recoveredEntry{m: m, deadline: now.Add(s.cfg.Lease)}
+			s.mu.Unlock()
+		}
+	}
+	return len(st.Members)
+}
+
+// JournalState assembles the snapshot the journal persists: every
+// member's registration facts plus its last pushed target, the scalar
+// settings, and the lifetime rebalance count. Members are sorted by
+// name, matching how journal replay reconstructs the same state, so a
+// snapshot and a replayed prefix of equal history marshal to equal
+// bytes. Member code runs with no server or coordinator lock held.
+func (s *Server) JournalState(at int64) journal.State {
+	st := journal.State{
+		Capacity:   s.coord.Capacity(),
+		External:   s.coord.ExternalLoad(),
+		Rebalances: s.coord.Rebalances(),
+		At:         at,
+	}
+	infos := s.coord.MemberInfos()
+	st.Members = make([]journal.Member, 0, len(infos))
+	for _, info := range infos {
+		target, _ := s.coord.LastPushed(info.Name)
+		st.Members = append(st.Members, journal.Member{
+			Name:     info.Name,
+			Procs:    info.Workers,
+			Weight:   info.Weight,
+			Target:   target,
+			LastSeen: at,
+		})
+	}
+	sort.Slice(st.Members, func(i, j int) bool { return st.Members[i].Name < st.Members[j].Name })
+	return st
+}
+
+// maybeSnapshot writes a registry snapshot when the journal's cadence
+// says one is due. Called after ops and sweeps, outside all locks.
+func (s *Server) maybeSnapshot() {
+	w := s.coord.Journal()
+	if w == nil || !w.ShouldSnapshot() {
+		return
+	}
+	st := s.JournalState(time.Now().UnixMicro())
+	if err := w.WriteSnapshot(st); err == nil {
+		s.coord.FlightRecorder().Append(flight.Event{
+			At: st.At, Kind: flight.KindSnapshot, A: int64(st.LastSeq),
+		})
+	}
+}
+
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Coordinator exposes the server's coordinator (introspection, tests).
+func (s *Server) Coordinator() *Coordinator { return s.coord }
 
 // Serve accepts connections until Close, running the lease sweep in the
 // background. It always returns a non-nil error; after Close the error
@@ -222,7 +313,10 @@ func (s *Server) sweepLoop(done chan struct{}) {
 }
 
 // sweep closes every connection silent since before now-Lease and
-// counts the member leases that expired with it.
+// counts the member leases that expired with it. It also reclaims
+// journal-recovered members whose grace lease lapsed without a client
+// claiming them — they have no connection to close, so the sweep
+// unregisters them directly.
 func (s *Server) sweep(now time.Time) {
 	deadline := now.Add(-s.cfg.Lease)
 	var victims []*connState
@@ -245,12 +339,36 @@ func (s *Server) sweep(now time.Time) {
 		s.expiries.Add(int64(len(expired)))
 		sort.Strings(expired) // map order must not leak into the event log
 		for _, name := range expired {
-			s.coord.FlightRecorder().Append(flight.Event{
+			s.coord.RecordEvent(flight.Event{
 				At: now.UnixMicro(), Kind: flight.KindLeaseExpiry, App: name, A: int64(len(expired)),
 			})
 		}
 		cs.conn.Close()
 	}
+
+	var stale []string
+	s.mu.Lock()
+	for name, re := range s.recovered {
+		if re.deadline.Before(now) {
+			stale = append(stale, name)
+			delete(s.recovered, name)
+		}
+	}
+	s.mu.Unlock()
+	if len(stale) > 0 {
+		s.expiries.Add(int64(len(stale)))
+		sort.Strings(stale)
+		for _, name := range stale {
+			s.coord.RecordEvent(flight.Event{
+				At: now.UnixMicro(), Kind: flight.KindLeaseExpiry, App: name, A: int64(len(stale)),
+			})
+		}
+		for _, name := range stale {
+			s.coord.Unregister(name)
+			s.coord.Metrics().Remove(metrics.Name("coordinator_member_lease_seconds", "app", name))
+		}
+	}
+	s.maybeSnapshot()
 }
 
 // Close stops the listener, drops every connection (unregistering
@@ -281,6 +399,7 @@ func (s *Server) handle(cs *connState) {
 		conn.Close()
 		var mine []string
 		s.mu.Lock()
+		closed := s.closed
 		delete(s.conns, conn)
 		for name := range cs.owned {
 			// Only tear down names this connection still owns: a
@@ -293,7 +412,13 @@ func (s *Server) handle(cs *connState) {
 		}
 		s.mu.Unlock()
 		for _, name := range mine {
-			s.coord.Unregister(name)
+			if closed {
+				// Server shutdown, not member departure: keep the
+				// journal's registry intact for the next incarnation.
+				s.coord.UnregisterQuiet(name)
+			} else {
+				s.coord.Unregister(name)
+			}
 			s.coord.Metrics().Remove(metrics.Name("coordinator_member_lease_seconds", "app", name))
 		}
 	}()
@@ -327,6 +452,7 @@ func (s *Server) dispatch(req *Request, cs *connState) Response {
 	if !resp.OK {
 		reg.Counter(metrics.Name("coordinator_rpc_errors_total", "op", req.Op), "socket requests rejected").Inc()
 	}
+	s.maybeSnapshot()
 	return resp
 }
 
@@ -344,8 +470,10 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 		s.mu.Lock()
 		// Taking ownership also handles a restarted client racing its
 		// dying predecessor: the old connection's cleanup skips names
-		// it no longer owns.
+		// it no longer owns. A journal-recovered placeholder for the
+		// name is likewise superseded by the live registration.
 		s.owners[req.App] = cs
+		delete(s.recovered, req.App)
 		s.mu.Unlock()
 		return Response{OK: true, Target: int(m.target.Load())}
 
@@ -395,9 +523,16 @@ func (s *Server) status() *Status {
 	}
 	now := time.Now()
 	s.mu.Lock()
-	remaining := make(map[string]float64, len(s.owners))
+	remaining := make(map[string]float64, len(s.owners)+len(s.recovered))
 	for name, cs := range s.owners {
 		rem := (s.cfg.Lease - now.Sub(cs.seen())).Seconds()
+		if rem < 0 {
+			rem = 0
+		}
+		remaining[name] = rem
+	}
+	for name, re := range s.recovered {
+		rem := re.deadline.Sub(now).Seconds()
 		if rem < 0 {
 			rem = 0
 		}

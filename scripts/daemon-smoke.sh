@@ -9,6 +9,12 @@
 #   /debug/vars    expvar JSON (memstats + the coordinator snapshot)
 #   events op      flight-recorder dump via procctl-top -events
 #
+# Then the durability leg: a member is held open, the daemon is killed
+# with SIGKILL and restarted on its journal, and the registry must come
+# back without the client re-registering; procctl-replay must audit the
+# journal as clean and decision-identical to the sim replay, and a clean
+# SIGTERM shutdown must leave a final snapshot.
+#
 # Fails (exit 1) on any missing endpoint, series, or event. Used by
 # `make daemon-smoke` and the daemon-smoke CI job.
 set -euo pipefail
@@ -16,15 +22,22 @@ set -euo pipefail
 OUT="${OUT:-/tmp/procctl-daemon-smoke}"
 SOCK="$OUT/procctld.sock"
 METRICS_ADDR="127.0.0.1:19717"
+JOURNAL="$OUT/journal"
+rm -rf "$OUT"
 mkdir -p "$OUT"
 
 go build -o "$OUT/procctld" ./cmd/procctld
 go build -o "$OUT/procctl-top" ./cmd/procctl-top
+go build -o "$OUT/procctl-replay" ./cmd/procctl-replay
 
-"$OUT/procctld" -listen "unix:$SOCK" -capacity 8 -metrics "$METRICS_ADDR" \
-    -log-level debug >"$OUT/procctld.log" 2>&1 &
-DAEMON=$!
-trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+start_daemon() {
+    "$OUT/procctld" -listen "unix:$SOCK" -capacity 8 -metrics "$METRICS_ADDR" \
+        -journal-dir "$JOURNAL" -fsync-every 1 \
+        -log-level debug >>"$OUT/procctld.log" 2>&1 &
+    DAEMON=$!
+}
+start_daemon
+trap 'kill "$DAEMON" 2>/dev/null || true; kill "${HOLD:-0}" 2>/dev/null || true' EXIT
 
 # Wait for both listeners.
 for i in $(seq 1 50); do
@@ -68,8 +81,54 @@ grep -q '"coordinator"' "$OUT/vars.json" || fail "/debug/vars missing the coordi
 "$OUT/procctl-top" -connect "unix:$SOCK" -events 0 >"$OUT/events.txt"
 grep -q rebalance "$OUT/events.txt" || fail "flight recorder shows no rebalance event"
 
-# Clean shutdown.
+# --- durability leg: SIGKILL, restart, recover, audit ---
+
+# Hold a member open (the connection must be live at the kill, or the
+# disconnect would durably unregister it).
+"$OUT/procctl-top" -connect "unix:$SOCK" -hold web:4:2 >"$OUT/hold.txt" 2>&1 &
+HOLD=$!
+for i in $(seq 1 50); do
+    "$OUT/procctl-top" -connect "unix:$SOCK" | grep -q '^web ' && break
+    sleep 0.1
+done
+"$OUT/procctl-top" -connect "unix:$SOCK" | grep -q '^web ' \
+    || fail "held member never registered"
+
+# SIGKILL: no shutdown path runs; only the journal survives.
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+kill "$HOLD" 2>/dev/null || true
+wait "$HOLD" 2>/dev/null || true
+
+start_daemon
+for i in $(seq 1 50); do
+    [ -S "$SOCK" ] && "$OUT/procctl-top" -connect "unix:$SOCK" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+
+# The registry must be back — same member, procs, and weight — with no
+# client having re-registered.
+"$OUT/procctl-top" -connect "unix:$SOCK" | tee "$OUT/status-recovered.txt" \
+    | grep -Eq '^web +4 +2 ' || fail "registry not recovered after SIGKILL restart"
+curl -sf "http://$METRICS_ADDR/metrics" | grep -q 'journal_recovered_members 1' \
+    || fail "/metrics missing the recovery gauges"
+if curl -sf "http://$METRICS_ADDR/metrics" \
+    | grep -E 'coordinator_rpcs_total\{op="register"\}' | grep -vq ' 0$'; then
+    fail "restarted daemon served register RPCs before the recovery check"
+fi
+
+# Offline audit: the journal is clean and every recorded decision
+# matches the deterministic sim replay.
+"$OUT/procctl-replay" -dir "$JOURNAL" fsck >"$OUT/fsck.txt" \
+    || fail "journal fsck found the recovered journal dirty"
+"$OUT/procctl-replay" -dir "$JOURNAL" diff -capacity 8 >"$OUT/diff.txt" \
+    || fail "record/replay diff found divergent decisions"
+grep -q identical "$OUT/diff.txt" || fail "replay diff did not report identity"
+
+# Clean shutdown: SIGTERM must leave a final snapshot behind.
 kill "$DAEMON"
 wait "$DAEMON" 2>/dev/null || true
+ls "$JOURNAL"/snap-*.snap >/dev/null 2>&1 \
+    || fail "clean shutdown left no final snapshot"
 trap - EXIT
 echo "daemon-smoke: OK"
