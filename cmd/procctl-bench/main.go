@@ -36,6 +36,7 @@ import (
 	"procctl/internal/machine"
 	"procctl/internal/metrics"
 	"procctl/internal/runtime/coordinator"
+	"procctl/internal/runtime/pool"
 	"procctl/internal/sim"
 	"procctl/internal/threads"
 	"procctl/internal/trace"
@@ -58,6 +59,13 @@ type result struct {
 	P50Us  int64 `json:"p50_us,omitempty"`
 	P99Us  int64 `json:"p99_us,omitempty"`
 	P999Us int64 `json:"p999_us,omitempty"`
+	// Fleet-convergence quantiles in microseconds: decision-to-settled
+	// latency of rebalance epochs, from
+	// coordinator_convergence_latency_micros{outcome="settled"}
+	// (FleetRebalance, where every epoch is acked over the wire).
+	ConvP50Us  int64 `json:"convergence_p50_us,omitempty"`
+	ConvP99Us  int64 `json:"convergence_p99_us,omitempty"`
+	ConvP999Us int64 `json:"convergence_p999_us,omitempty"`
 }
 
 // report is the BENCH_<date>.json file, schema procctl-bench/1.
@@ -214,9 +222,12 @@ func compare(w io.Writer, path string, rep report, threshold float64) bool {
 	return ok
 }
 
-// fleetRebalance builds the driven-fleet benchmark. The coordinator of
-// the final measured run is kept so after() can read the stage="total"
-// rebalance-latency quantiles out of its registry.
+// fleetRebalance builds the driven-fleet benchmark: one op is a full
+// convergence cycle — a load change that re-targets the fleet, then
+// every client learning and acking its new target over the socket, so
+// the rebalance epoch settles. The coordinator of the final measured
+// run is kept so after() can read both the stage="total" rebalance span
+// and the settled-convergence quantiles out of its registry.
 func fleetRebalance() bench {
 	var last *coordinator.Coordinator
 	return bench{
@@ -232,19 +243,32 @@ func fleetRebalance() bench {
 			go srv.Serve()
 			const fleet = 8
 			clients := make([]*coordinator.Client, fleet)
+			names := make([]string, fleet)
 			for i := range clients {
 				c, err := coordinator.Dial("tcp", ln.Addr().String())
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := c.Register(fmt.Sprintf("app%d", i), 16); err != nil {
+				names[i] = fmt.Sprintf("app%d", i)
+				if _, err := c.Register(names[i], 16); err != nil {
 					b.Fatal(err)
 				}
 				clients[i] = c
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				coord.Rebalance()
+				// Toggling the external load changes targets, so each
+				// iteration opens a fresh epoch with pending members.
+				coord.SetExternalLoad(i % 2)
+				for j, c := range clients {
+					_, epoch, err := c.PollEpoch(names[j], 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := c.PollEpoch(names[j], epoch); err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
 			b.StopTimer()
 			last = coord
@@ -257,13 +281,17 @@ func fleetRebalance() bench {
 			if last == nil {
 				return
 			}
-			m := last.Snapshot().Get(metrics.Name("coordinator_rebalance_latency_micros", "stage", "total"))
-			if m == nil {
-				return
+			snap := last.Snapshot()
+			if m := snap.Get(metrics.Name("coordinator_rebalance_latency_micros", "stage", "total")); m != nil {
+				res.P50Us = m.Quantile(500)
+				res.P99Us = m.Quantile(990)
+				res.P999Us = m.Quantile(999)
 			}
-			res.P50Us = m.Quantile(500)
-			res.P99Us = m.Quantile(990)
-			res.P999Us = m.Quantile(999)
+			if m := snap.Get(metrics.Name("coordinator_convergence_latency_micros", "outcome", coordinator.ConvergeSettled)); m != nil && m.Count > 0 {
+				res.ConvP50Us = m.Quantile(500)
+				res.ConvP99Us = m.Quantile(990)
+				res.ConvP999Us = m.Quantile(999)
+			}
 		},
 	}
 }
@@ -385,11 +413,37 @@ func curated() []bench {
 				rec.Append(flight.Event{At: int64(i), Kind: flight.KindTarget, App: "bench", A: 8, B: 4})
 			}
 		}},
+		// EpochStamp is one epoch-stamped target delivery into an
+		// in-process member — the pool-side half of what a DriveWith
+		// poll round applies. Alternating targets so every push is a
+		// genuine change: epoch recorded, settle tracking re-armed,
+		// workers re-converging. Must stay zero-alloc on the caller.
+		{name: "EpochStamp", extra: events, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			p := pool.New(pool.Config{Name: "bench", Workers: 2, Flight: flight.New(flight.DefaultSize)})
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.SetTargetEpoch(1+i%2, uint64(i+1))
+			}
+		}},
+		// ConvergeTrack is one open→ack→close convergence cycle on the
+		// coordinator's epoch tracker. The free list and closed-report
+		// ring make the steady-state cycle allocation-free; this is the
+		// gate that keeps it so.
+		{name: "ConvergeTrack", extra: events, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			cb := coordinator.NewConvergeBench()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cb.Cycle(uint64(i+1), int64(i))
+			}
+		}},
 		// FleetRebalance is a driven fleet: eight applications registered
-		// over the socket, then b.N full rebalances (snapshot, recompute,
-		// notify fan-out). Beyond ns/op, the coordinator's own
-		// stage="total" span histogram supplies p50/p99/p999 for the
-		// report.
+		// over the socket, then b.N convergence cycles — a load change
+		// re-targeting the fleet, every client acking over the wire.
+		// Beyond ns/op, the coordinator's stage="total" span histogram
+		// and settled-convergence histogram supply p50/p99/p999.
 		fleetRebalance(),
 		// TraceRecord is one recorded virtual second of the Fig4-style
 		// mix (matmul + fft + background, control on): the cost of the

@@ -3,15 +3,21 @@
 // current target, and the daemon's rebalance-latency quantiles — a tiny
 // "top" for the paper's central server. With -metrics it prints the
 // daemon's full metrics snapshot instead; with -events it dumps the
-// daemon's flight recorder (the ring of recent control-plane events).
+// daemon's flight recorder (the ring of recent control-plane events),
+// filterable by ring sequence (-since) and rebalance epoch (-epoch) and
+// machine-readable with -json (the JSONL procctl-trace's daemon export
+// reads). With -converge it renders the daemon's epoch convergence
+// report: how long each rebalance decision took to reach every member.
 //
 // Usage:
 //
-//	procctl-top [-connect unix:/tmp/procctld.sock] [-watch 2s] [-metrics] [-events N] [-setload N]
-//	            [-hold NAME:PROCS[:WEIGHT]]
+//	procctl-top [-connect unix:/tmp/procctld.sock] [-watch 2s] [-metrics] [-setload N]
+//	            [-events N [-since SEQ] [-epoch N] [-json]] [-converge N]
+//	            [-hold NAME:PROCS[:WEIGHT] [-hold-interval 1s] [-hold-events FILE]]
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +33,7 @@ import (
 
 	"procctl/internal/flight"
 	"procctl/internal/runtime/coordinator"
+	"procctl/internal/runtime/pool"
 )
 
 // maxConsecutiveFailures is how many back-to-back failed refreshes
@@ -36,12 +43,18 @@ const maxConsecutiveFailures = 5
 
 func main() {
 	var (
-		connect = flag.String("connect", "unix:/tmp/procctld.sock", "daemon address (unix:PATH or tcp:HOST:PORT)")
-		watch   = flag.Duration("watch", 0, "refresh continuously at this interval")
-		metrics = flag.Bool("metrics", false, "show the daemon's metrics snapshot instead of the status table")
-		events  = flag.Int("events", -1, "dump the daemon's newest N flight-recorder events (0 = all retained) and exit")
-		setload = flag.Int("setload", -1, "report this uncontrollable load to the daemon and exit")
-		hold    = flag.String("hold", "", "register NAME:PROCS[:WEIGHT] and keep polling until interrupted (a minimal durable client, for recovery drills)")
+		connect  = flag.String("connect", "unix:/tmp/procctld.sock", "daemon address (unix:PATH or tcp:HOST:PORT)")
+		watch    = flag.Duration("watch", 0, "refresh continuously at this interval")
+		metrics  = flag.Bool("metrics", false, "show the daemon's metrics snapshot instead of the status table")
+		events   = flag.Int("events", -1, "dump the daemon's newest N flight-recorder events (0 = all retained) and exit")
+		since    = flag.Uint64("since", 0, "with -events: only events after this ring sequence number")
+		epoch    = flag.Uint64("epoch", 0, "with -events: only events stamped with this rebalance epoch")
+		jsonOut  = flag.Bool("json", false, "with -events: one JSON event per line (procctl-trace export -source daemon input)")
+		converge = flag.Int("converge", -1, "show the daemon's newest N closed convergence epochs (0 = all retained) and exit")
+		setload  = flag.Int("setload", -1, "report this uncontrollable load to the daemon and exit")
+		hold     = flag.String("hold", "", "register NAME:PROCS[:WEIGHT] and run a worker pool under the daemon's control until interrupted (a minimal durable client, for recovery drills)")
+		holdIvl  = flag.Duration("hold-interval", time.Second, "with -hold: the driver's poll interval")
+		holdDump = flag.String("hold-events", "", "with -hold: dump the client's flight ring to this file (JSONL) on exit")
 	)
 	flag.Parse()
 
@@ -65,18 +78,33 @@ func main() {
 	}
 
 	if *hold != "" {
-		if err := holdLoop(client, *hold); err != nil {
+		if err := holdLoop(client, *hold, *holdIvl, *holdDump); err != nil {
 			log.Fatalf("procctl-top: %v", err)
 		}
 		return
 	}
 
 	if *events >= 0 {
-		evs, err := client.Events(*events)
+		evs, err := client.EventsFiltered(*events, *since, *epoch)
 		if err != nil {
 			log.Fatalf("procctl-top: %v", err)
 		}
+		if *jsonOut {
+			if err := writeEventsJSONL(os.Stdout, evs); err != nil {
+				log.Fatalf("procctl-top: %v", err)
+			}
+			return
+		}
 		fmt.Fprint(os.Stdout, eventsTable(evs))
+		return
+	}
+
+	if *converge >= 0 {
+		cs, err := client.Converge(*converge)
+		if err != nil {
+			log.Fatalf("procctl-top: %v", err)
+		}
+		fmt.Fprint(os.Stdout, convergeTable(cs))
 		return
 	}
 
@@ -129,12 +157,16 @@ func main() {
 	}
 }
 
-// holdLoop registers NAME:PROCS[:WEIGHT] and polls once a second until
-// SIGINT/SIGTERM, printing each target change. It deliberately never
-// unregisters: killed or interrupted, the daemon's lease (or its
-// journal, across a restart) decides what happens to the name — which
-// is exactly what recovery drills need to observe.
-func holdLoop(client *coordinator.Client, spec string) error {
+// holdLoop registers NAME:PROCS[:WEIGHT] as a real worker pool driven
+// by the client poll loop, until SIGINT/SIGTERM. Every pushed target
+// resizes the pool, so the daemon sees genuine epoch acks and settle
+// events — a minimal but complete member process for recovery and
+// convergence drills. It deliberately never unregisters: killed or
+// interrupted, the daemon's lease (or its journal, across a restart)
+// decides what happens to the name. On exit the client's flight ring —
+// apply and settle events, epoch-stamped — is dumped to dumpPath for
+// procctl-trace's merged daemon export.
+func holdLoop(client *coordinator.Client, spec string, interval time.Duration, dumpPath string) error {
 	parts := strings.Split(spec, ":")
 	if len(parts) < 2 || len(parts) > 3 {
 		return fmt.Errorf("bad -hold %q (want NAME:PROCS[:WEIGHT])", spec)
@@ -150,31 +182,65 @@ func holdLoop(client *coordinator.Client, spec string) error {
 			return fmt.Errorf("bad -hold weight %q", parts[2])
 		}
 	}
-	target, err := client.RegisterWeighted(name, procs, weight)
+	rec := flight.New(flight.DefaultSize)
+	p := pool.New(pool.Config{Name: name, Workers: procs, Flight: rec})
+	defer p.Close()
+	drv, err := client.DriveWith(name, procs, p, coordinator.DriveOptions{
+		Interval: interval,
+		Weight:   weight,
+		Flight:   rec,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s registered: procs=%d weight=%d target=%d\n", name, procs, weight, target)
+	fmt.Printf("%s registered: procs=%d weight=%d target=%d\n", name, procs, weight, drv.Stats().Target)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	tick := time.NewTicker(time.Second)
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	last := drv.Stats().Target
+loop:
 	for {
 		select {
 		case <-sig:
-			return nil
+			break loop
 		case <-tick.C:
-			t, err := client.Poll(name)
-			if err != nil {
-				return err
-			}
-			if t != target {
-				fmt.Printf("%s target %d -> %d\n", name, target, t)
-				target = t
+			if t := drv.Stats().Target; t != last {
+				fmt.Printf("%s target %d -> %d (epoch %d)\n", name, last, t, drv.Applied())
+				last = t
 			}
 		}
 	}
+	// No drv.Stop(): stopping would unregister, and -hold's contract is
+	// to leave the lease (or journal) to decide. Just dump the ring.
+	if dumpPath != "" {
+		f, err := os.Create(dumpPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := writeEventsJSONL(f, rec.Snapshot(0)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEventsJSONL emits one flight event per line — the exchange
+// format between -events -json / -hold-events and procctl-trace's
+// daemon export.
+func writeEventsJSONL(w io.Writer, evs []flight.Event) error {
+	for _, ev := range evs {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // daemonGone reports whether a refresh failure means the daemon itself
@@ -243,21 +309,51 @@ func statusTable(st *coordinator.Status) string {
 }
 
 // eventsTable renders a flight-recorder dump, oldest first. Event
-// timestamps are the daemon's wall clock in microseconds.
+// timestamps are the daemon's wall clock in microseconds; EPOCH ties
+// each event to the rebalance decision it belongs to ("-" for events
+// outside any epoch).
 func eventsTable(evs []flight.Event) string {
 	var b strings.Builder
 	if len(evs) == 0 {
 		b.WriteString("flight recorder empty\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%8s %-15s %-13s %-20s %10s %10s\n", "SEQ", "TIME", "KIND", "APP", "A", "B")
+	fmt.Fprintf(&b, "%8s %-15s %-13s %-20s %10s %10s %7s\n", "SEQ", "TIME", "KIND", "APP", "A", "B", "EPOCH")
 	for _, ev := range evs {
 		ts := time.UnixMicro(ev.At).Format("15:04:05.000000")
 		app := ev.App
 		if app == "" {
 			app = "-"
 		}
-		fmt.Fprintf(&b, "%8d %-15s %-13s %-20s %10d %10d\n", ev.Seq, ts, ev.Kind, app, ev.A, ev.B)
+		ep := "-"
+		if ev.Epoch != 0 {
+			ep = strconv.FormatUint(ev.Epoch, 10)
+		}
+		fmt.Fprintf(&b, "%8d %-15s %-13s %-20s %10d %10d %7s\n", ev.Seq, ts, ev.Kind, app, ev.A, ev.B, ep)
+	}
+	return b.String()
+}
+
+// convergeTable renders the daemon's convergence report: per closed
+// epoch, how many members the decision re-targeted, how it closed, how
+// long it took, and which member closed it — plus the settled-epoch
+// latency quantiles and the count of epochs still waiting.
+func convergeTable(cs *coordinator.ConvergeStatus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "open epochs %d, settled %d (p50 %dµs p99 %dµs p999 %dµs)\n",
+		cs.Open, cs.Settled, cs.P50, cs.P99, cs.P999)
+	if len(cs.Epochs) == 0 {
+		b.WriteString("no closed epochs retained\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%8s %8s %-11s %12s %-20s %-8s\n", "EPOCH", "MEMBERS", "OUTCOME", "SETTLED(µS)", "STRAGGLER", "KIND")
+	for _, e := range cs.Epochs {
+		straggler := e.Straggler
+		if straggler == "" {
+			straggler = "-"
+		}
+		fmt.Fprintf(&b, "%8d %8d %-11s %12d %-20s %-8s\n",
+			e.Epoch, e.Members, e.Outcome, e.LatencyMicros, straggler, e.StragglerKind)
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -123,23 +124,27 @@ func TestStatusTableShowsRebalanceLatency(t *testing.T) {
 func TestEventsTable(t *testing.T) {
 	evs := []flight.Event{
 		{Seq: 7, At: 1_754_650_000_000_000, Kind: "register", App: "fft", A: 16},
-		{Seq: 8, At: 1_754_650_000_250_000, Kind: "rebalance", A: 120, B: 2},
+		{Seq: 8, At: 1_754_650_000_250_000, Kind: "rebalance", A: 120, B: 2, Epoch: 4},
 	}
 	got := eventsTable(evs)
 	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
 	if len(lines) != 3 {
 		t.Fatalf("events table has %d lines, want header + 2 rows:\n%s", len(lines), got)
 	}
-	for _, want := range []string{"SEQ", "KIND", "register", "fft", "rebalance"} {
+	for _, want := range []string{"SEQ", "KIND", "EPOCH", "register", "fft", "rebalance"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("events table missing %q:\n%s", want, got)
 		}
 	}
 	// Span events have no app; the column shows a dash, keeping rows
-	// field-aligned for awk-style consumers.
+	// field-aligned for awk-style consumers. Same for the epoch column
+	// of events outside any epoch.
 	f := strings.Fields(lines[2])
-	if len(f) != 6 || f[3] != "-" {
-		t.Errorf("app-less event row not dash-padded: %q", lines[2])
+	if len(f) != 7 || f[3] != "-" || f[6] != "4" {
+		t.Errorf("rebalance row malformed (want dash app, epoch 4): %q", lines[2])
+	}
+	if f := strings.Fields(lines[1]); len(f) != 7 || f[6] != "-" {
+		t.Errorf("epoch-less row not dash-padded: %q", lines[1])
 	}
 
 	if got := eventsTable(nil); !strings.Contains(got, "empty") {
@@ -155,5 +160,61 @@ func TestStatusTableWithoutLease(t *testing.T) {
 	}
 	if !strings.Contains(got, "0 application(s)") {
 		t.Errorf("empty table missing the application count:\n%s", got)
+	}
+}
+
+func TestConvergeTable(t *testing.T) {
+	cs := &coordinator.ConvergeStatus{
+		Open: 1, Settled: 12, P50: 180, P99: 950, P999: 2100,
+		Epochs: []coordinator.ConvergeInfo{
+			{Epoch: 9, Members: 3, Outcome: "settled", LatencyMicros: 240, Straggler: "web", StragglerKind: "remote"},
+			{Epoch: 8, Members: 2, Outcome: "superseded", LatencyMicros: 90, Straggler: "bat", StragglerKind: "inproc"},
+		},
+	}
+	got := convergeTable(cs)
+	for _, want := range []string{
+		"open epochs 1", "settled 12", "p50 180µs", "p99 950µs", "p999 2100µs",
+		"EPOCH", "MEMBERS", "OUTCOME", "SETTLED(µS)", "STRAGGLER",
+		"settled", "superseded", "web", "remote",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("converge table missing %q:\n%s", want, got)
+		}
+	}
+	rows := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(rows) != 4 {
+		t.Fatalf("converge table has %d lines, want summary + header + 2 rows:\n%s", len(rows), got)
+	}
+	if f := strings.Fields(rows[2]); f[0] != "9" || f[1] != "3" || f[2] != "settled" || f[3] != "240" {
+		t.Errorf("epoch row malformed: %q", rows[2])
+	}
+
+	empty := convergeTable(&coordinator.ConvergeStatus{})
+	if !strings.Contains(empty, "no closed epochs") {
+		t.Errorf("empty report = %q", empty)
+	}
+}
+
+func TestWriteEventsJSONL(t *testing.T) {
+	evs := []flight.Event{
+		{Seq: 1, At: 10, Kind: "target", App: "web", A: 3, B: 4, Epoch: 2},
+		{Seq: 2, At: 20, Kind: "settle", App: "web", A: 3, Epoch: 2},
+	}
+	var b strings.Builder
+	if err := writeEventsJSONL(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2: %q", len(lines), b.String())
+	}
+	for i, line := range lines {
+		var ev flight.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if ev != evs[i] {
+			t.Errorf("round trip changed event %d: %+v != %+v", i, ev, evs[i])
+		}
 	}
 }

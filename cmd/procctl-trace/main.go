@@ -11,6 +11,15 @@
 //	    context switch, cache reload, ready-queue wait, suspension)
 //	procctl-trace export -format chrome [-in trace.jsonl] [-out out.json]
 //	    converts a trace to Chrome trace-event JSON for ui.perfetto.dev
+//	procctl-trace export -source daemon -daemon-events d.jsonl [-client-events a.jsonl,b.jsonl]
+//	            [-journal DIR] [-out out.json]
+//	    merges a live daemon's flight-ring dump (procctl-top -events -json),
+//	    client ring dumps (procctl-top -hold-events), and its journal into
+//	    one wall-clock Perfetto timeline with decision→apply→settle flow
+//	    arrows across process boundaries
+//	procctl-trace check [-in out.json] [-require-flows]
+//	    validates an exported daemon timeline (well-formed JSON, balanced
+//	    flow arrows; -require-flows also demands a cross-process flow)
 //
 // With no file flags, record writes to stdout and the readers read
 // stdin, so the stages compose:
@@ -25,8 +34,13 @@ import (
 	"log"
 	"os"
 
+	"path/filepath"
+	"strings"
+
 	"procctl/internal/apps"
 	"procctl/internal/experiments"
+	"procctl/internal/flight"
+	"procctl/internal/journal"
 	"procctl/internal/kernel"
 	"procctl/internal/sim"
 	"procctl/internal/threads"
@@ -46,13 +60,15 @@ func main() {
 		analyze(os.Args[2:])
 	case "export":
 		export(os.Args[2:])
+	case "check":
+		check(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: procctl-trace record|summary|analyze|export [flags]")
+	fmt.Fprintln(os.Stderr, "usage: procctl-trace record|summary|analyze|export|check [flags]")
 	os.Exit(2)
 }
 
@@ -147,17 +163,19 @@ func analyze(args []string) {
 func export(args []string) {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	var (
-		in     = fs.String("in", "", "trace file (default stdin)")
-		out    = fs.String("out", "", "output file (default stdout)")
-		format = fs.String("format", "chrome", "output format (chrome)")
+		in      = fs.String("in", "", "trace file (default stdin)")
+		out     = fs.String("out", "", "output file (default stdout)")
+		format  = fs.String("format", "chrome", "output format (chrome)")
+		source  = fs.String("source", "sim", "input source: sim (a scheduling trace) or daemon (flight/journal dumps)")
+		daemon  = fs.String("daemon-events", "", "daemon flight-ring dump, JSONL (procctl-top -events -json); daemon source only")
+		clients = fs.String("client-events", "", "comma-separated client ring dumps, JSONL (procctl-top -hold-events); daemon source only")
+		jdir    = fs.String("journal", "", "daemon journal directory to merge; daemon source only")
 	)
 	fs.Parse(args)
 	if *format != "chrome" {
 		log.Fatalf("procctl-trace: unknown export format %q (have: chrome)", *format)
 	}
 
-	r := openInput(*in)
-	defer r.Close()
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -167,7 +185,106 @@ func export(args []string) {
 		defer f.Close()
 		w = f
 	}
-	if err := trace.WriteChrome(r, w); err != nil {
-		log.Fatalf("procctl-trace: %v", err)
+
+	switch *source {
+	case "sim":
+		r := openInput(*in)
+		defer r.Close()
+		if err := trace.WriteChrome(r, w); err != nil {
+			log.Fatalf("procctl-trace: %v", err)
+		}
+	case "daemon":
+		tl, err := loadDaemonTimeline(*daemon, *clients, *jdir)
+		if err != nil {
+			log.Fatalf("procctl-trace: %v", err)
+		}
+		if err := trace.WriteDaemonChrome(tl, w); err != nil {
+			log.Fatalf("procctl-trace: %v", err)
+		}
+	default:
+		log.Fatalf("procctl-trace: unknown export source %q (have: sim, daemon)", *source)
 	}
+}
+
+// loadDaemonTimeline assembles the merged-export input: the daemon's
+// ring dump unioned with journal-derived events, plus one client
+// timeline per dump file. At least one daemon-side input is required.
+func loadDaemonTimeline(daemonPath, clientPaths, journalDir string) (trace.DaemonTimeline, error) {
+	var tl trace.DaemonTimeline
+	if daemonPath == "" && journalDir == "" {
+		return tl, fmt.Errorf("daemon export needs -daemon-events and/or -journal")
+	}
+	if daemonPath != "" {
+		f, err := os.Open(daemonPath)
+		if err != nil {
+			return tl, err
+		}
+		evs, err := trace.ReadFlightJSONL(f)
+		f.Close()
+		if err != nil {
+			return tl, fmt.Errorf("%s: %w", daemonPath, err)
+		}
+		tl.Daemon = evs
+	}
+	if journalDir != "" {
+		_, recs, err := journal.ReadAll(journalDir)
+		if err != nil {
+			return tl, fmt.Errorf("journal %s: %w", journalDir, err)
+		}
+		jevs := make([]flight.Event, 0, len(recs))
+		for _, rec := range recs {
+			jevs = append(jevs, journal.ToFlight(rec))
+		}
+		tl.Daemon = trace.MergeFlightEvents(tl.Daemon, jevs)
+	}
+	if clientPaths != "" {
+		for _, path := range strings.Split(clientPaths, ",") {
+			f, err := os.Open(path)
+			if err != nil {
+				return tl, err
+			}
+			evs, err := trace.ReadFlightJSONL(f)
+			f.Close()
+			if err != nil {
+				return tl, fmt.Errorf("%s: %w", path, err)
+			}
+			tl.Clients = append(tl.Clients, trace.ClientTimeline{Name: clientLabel(path, evs), Events: evs})
+		}
+	}
+	return tl, nil
+}
+
+// clientLabel names a client track after the member the dump belongs
+// to (the app on its apply/settle events), falling back to the file
+// name for rings that never applied a target.
+func clientLabel(path string, evs []flight.Event) string {
+	for _, ev := range evs {
+		if (ev.Kind == flight.KindApply || ev.Kind == flight.KindSettle) && ev.App != "" {
+			return ev.App
+		}
+	}
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// check validates an exported daemon timeline: CI runs it against the
+// smoke script's merged export instead of shelling out to jq/python.
+func check(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "exported trace JSON (default stdin)")
+		require = fs.Bool("require-flows", false, "fail unless at least one flow crosses process boundaries")
+	)
+	fs.Parse(args)
+	r := openInput(*in)
+	defer r.Close()
+	ck, err := trace.CheckDaemonChrome(r)
+	if err != nil {
+		log.Fatalf("procctl-trace: check: %v", err)
+	}
+	if *require && ck.CrossProcess == 0 {
+		log.Fatalf("procctl-trace: check: no cross-process flow arrows (%d events, %d flows)", ck.Events, ck.Flows)
+	}
+	fmt.Printf("ok: %d events, %d processes, %d flows (%d cross-process)\n",
+		ck.Events, ck.Processes, ck.Flows, ck.CrossProcess)
 }

@@ -26,6 +26,11 @@ type Replayer struct {
 	idByName map[string]kernel.AppID
 	nameByID map[kernel.AppID]string
 	nextID   kernel.AppID
+	// departed remembers the last target a member held when an
+	// unregister or lease-expiry record dropped it: the anchor for
+	// explaining a phantom re-push journaled by a departure that raced
+	// the daemon's own fan-out (see DiffJournal).
+	departed map[string]int
 }
 
 // Decision is one target change a replayed Scan produced, in the same
@@ -61,6 +66,19 @@ func NewReplayer(capacity int) *Replayer {
 
 // Server exposes the underlying sim server (tests, state dumps).
 func (r *Replayer) Server() *Server { return r.s }
+
+// StandingTarget returns the target the replay currently attributes to
+// app: its live target if one has been pushed, or the last target it
+// held when a departure record dropped it.
+func (r *Replayer) StandingTarget(app string) (int, bool) {
+	if id, ok := r.idByName[app]; ok {
+		if t, ok := r.s.targets[id]; ok {
+			return t, true
+		}
+	}
+	t, ok := r.departed[app]
+	return t, ok
+}
 
 // idFor maps a journal app name to a stable sim AppID.
 func (r *Replayer) idFor(name string) kernel.AppID {
@@ -117,6 +135,12 @@ func (r *Replayer) Apply(rec journal.Record) {
 		}
 	case journal.KindUnregister, journal.KindLeaseExpiry:
 		if id, ok := r.idByName[rec.App]; ok {
+			if t, ok := r.s.targets[id]; ok {
+				if r.departed == nil {
+					r.departed = make(map[string]int)
+				}
+				r.departed[rec.App] = t
+			}
 			r.s.drop(id)
 		}
 	case journal.KindSetLoad:
@@ -196,48 +220,132 @@ type DiffResult struct {
 // identically.
 func (d *DiffResult) OK() bool { return len(d.Mismatches) == 0 }
 
+// epochQueue is the sim's pending decisions for one replayed rebalance
+// epoch, awaiting the journal's matching target records.
+type epochQueue struct {
+	epoch     uint64
+	openedSeq uint64 // the rebalance record that opened it
+	decisions []Decision
+}
+
 // DiffJournal replays a captured record stream and diffs every target
 // decision the live daemon journaled against what the deterministic
 // sim server computes from the same inputs. base and recs come from
 // journal.ReadAll; capacity seeds the divisible total until the first
 // setcapacity record (a journaled daemon always writes one at boot).
+//
+// Decisions are matched by epoch: each rebalance record opens a
+// decision queue under its epoch ID, and every target record is held
+// against its own epoch's queue first — so a target journaled under an
+// epoch whose replay decided differently is a mismatch even when a
+// FIFO pairing would have lined up. When the record's own queue is
+// exhausted (or absent), it falls back FIFO to the oldest queue with
+// pending decisions: concurrent notifies journal their record groups
+// in snapshot order, not journal order, so a decision can land one
+// epoch away from where the replay computed it (a register record, for
+// example, may be appended after a scan whose snapshot already saw the
+// member). The overlap window is one epoch — see flush — so anything
+// skewed further is still a divergence. Epoch-less v1 records use
+// synthetic epochs (the running rebalance count, which is exactly what
+// a v2 daemon would have stamped) and always take the FIFO path, so
+// mixed-version journals — a v1 prefix continued by an upgraded daemon
+// — still diff cleanly.
 func DiffJournal(base journal.State, recs []journal.Record, capacity int) *DiffResult {
 	r := NewReplayer(capacity)
 	r.Seed(base)
 	res := &DiffResult{}
-	var queue []Decision
-	flush := func(seq uint64) {
-		for _, d := range queue {
-			res.Mismatches = append(res.Mismatches, Mismatch{Seq: seq,
-				What: fmt.Sprintf("sim decided %s -> %d (was %d) but the journal records no matching target", d.App, d.Target, d.Prev)})
+	var queues []epochQueue
+	lastEpoch := uint64(base.Rebalances)
+	flush := func(keep int, seq uint64) {
+		for len(queues) > keep {
+			q := queues[0]
+			queues = queues[1:]
+			for _, d := range q.decisions {
+				res.Mismatches = append(res.Mismatches, Mismatch{Seq: seq,
+					What: fmt.Sprintf("sim decided %s -> %d (was %d) in epoch %d but the journal records no matching target", d.App, d.Target, d.Prev, q.epoch)})
+			}
 		}
-		queue = nil
 	}
 	for _, rec := range recs {
 		res.Records++
 		switch rec.Kind {
 		case journal.KindTarget:
 			res.Decisions++
-			if len(queue) == 0 {
+			qi := -1
+			if rec.Epoch != 0 {
+				for i := range queues {
+					if queues[i].epoch == rec.Epoch && len(queues[i].decisions) > 0 {
+						qi = i
+						break
+					}
+				}
+			}
+			if qi < 0 {
+				// Own-epoch queue exhausted or absent (v1 records always
+				// land here): FIFO against the oldest pending queue.
+				for i := range queues {
+					if len(queues[i].decisions) > 0 {
+						qi = i
+						break
+					}
+				}
+			}
+			if qi < 0 {
+				// No pending decision anywhere. One journal shape still
+				// explains that: a target record with no pushed-target
+				// memory (was-0) whose value is the target the replay
+				// already attributes to the app. A departure racing the
+				// fan-out wipes the daemon's memory of the member's last
+				// push mid-rebalance, so the daemon re-delivers — and
+				// journals — the member's standing target as if it were
+				// new, while the serial replay of the same records
+				// correctly sees no change. The value must still match;
+				// a remembered prev or a different target is a real
+				// divergence.
+				if rec.B == 0 {
+					if cur, ok := r.StandingTarget(rec.App); ok && int64(cur) == rec.A {
+						continue
+					}
+				}
 				res.Mismatches = append(res.Mismatches, Mismatch{Seq: rec.Seq,
-					What: fmt.Sprintf("journal says %s -> %d but sim made no further decision this epoch", rec.App, rec.A)})
+					What: fmt.Sprintf("journal says %s -> %d but sim made no further decision in epoch %d", rec.App, rec.A, rec.Epoch)})
 				continue
 			}
-			d := queue[0]
-			queue = queue[1:]
-			if d.App != rec.App || int64(d.Target) != rec.A || int64(d.Prev) != rec.B {
+			d := queues[qi].decisions[0]
+			queues[qi].decisions = queues[qi].decisions[1:]
+			// The previous-target field participates only when both sides
+			// remember one. Zero means "no pushed-target memory", and a
+			// departure racing the fan-out legally empties it on one side
+			// only: the daemon's unregister deletes the memory between a
+			// concurrent rebalance's snapshot and its push, journaling
+			// was-0 where the serial replay of the same records still
+			// remembers the old target (or vice versa, when the target
+			// record lands after the unregister it raced). The decision —
+			// this app, this target, this epoch — is what replay must
+			// explain; a remembered-vs-remembered disagreement is still a
+			// divergence.
+			if d.App != rec.App || int64(d.Target) != rec.A ||
+				(rec.B != 0 && d.Prev != 0 && int64(d.Prev) != rec.B) {
 				res.Mismatches = append(res.Mismatches, Mismatch{Seq: rec.Seq,
 					What: fmt.Sprintf("journal says %s -> %d (was %d); sim decided %s -> %d (was %d)",
 						rec.App, rec.A, rec.B, d.App, d.Target, d.Prev)})
 			}
 		case journal.KindRebalance:
-			flush(rec.Seq)
+			// One epoch of overlap is legal — two concurrent notifies may
+			// interleave their records — but anything older is a decision
+			// the daemon never delivered.
+			flush(1, rec.Seq)
 			res.Scans++
-			queue = r.Scan()
+			epoch := rec.Epoch
+			if epoch == 0 {
+				epoch = lastEpoch + 1 // v1 record: the count a v2 daemon would have stamped
+			}
+			lastEpoch = epoch
+			queues = append(queues, epochQueue{epoch: epoch, openedSeq: rec.Seq, decisions: r.Scan()})
 		default:
 			r.Apply(rec)
 		}
 	}
-	flush(0)
+	flush(0, 0)
 	return res
 }

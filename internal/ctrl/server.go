@@ -229,7 +229,7 @@ func (s *Server) Scan() {
 	s.expireLeases()
 	changed := 0
 	defer func() {
-		s.record(flight.Event{Kind: flight.KindScan, A: s.Scans, B: int64(changed)})
+		s.record(flight.Event{Kind: flight.KindScan, A: s.Scans, B: int64(changed), Epoch: uint64(s.Scans)})
 	}()
 
 	if sizer, ok := s.k.Policy().(PartitionSizer); ok {
@@ -290,15 +290,16 @@ func (s *Server) Scan() {
 
 // setTarget records an application's target and, when it changed, stamps
 // a target-decision annotation into the trace stream with the scan
-// number as the causal reference, plus a flight-recorder event. Reports
-// whether the target moved.
+// number as the causal reference, plus a flight-recorder event carrying
+// the scan number as its epoch — the sim analogue of the daemon's
+// rebalance-epoch provenance. Reports whether the target moved.
 func (s *Server) setTarget(app kernel.AppID, t int) bool {
 	old, had := s.targets[app]
 	if had && old == t {
 		return false
 	}
 	s.targets[app] = t
-	s.record(flight.Event{Kind: flight.KindTarget, App: appLabel(app), A: int64(t), B: int64(old)})
+	s.record(flight.Event{Kind: flight.KindTarget, App: appLabel(app), A: int64(t), B: int64(old), Epoch: uint64(s.Scans)})
 	s.k.Annotate(kernel.Annotation{
 		Layer:  "ctrl",
 		Kind:   "target",

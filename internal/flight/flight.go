@@ -32,20 +32,28 @@ const (
 	KindSetCapacity = "setcapacity"  // managed capacity changed; A = new capacity
 	KindRestart     = "restart"      // daemon recovered its journal; A = members restored, B = bytes fsck truncated
 	KindSnapshot    = "snapshot"     // registry snapshot written; A = last journaled seq
+	KindApply       = "apply"        // client driver applied a pushed target; A = new target, B = previous
+	KindSettle      = "settle"       // pool's runnable count reached the applied target; A = target
+	KindConverge    = "converge"     // epoch closed; App = straggler, A = close latency µs, B = members tracked
 )
 
 // Event is one recorded occurrence. At is microseconds on the
 // recording layer's clock (Unix for the daemon, virtual for the sim);
 // Seq is assigned by the recorder in append order and survives ring
 // wraparound, so gaps reveal how much history was overwritten. A and B
-// carry kind-specific detail (see the Kind constants).
+// carry kind-specific detail (see the Kind constants). Epoch, when
+// non-zero, names the rebalance decision the event belongs to — the
+// coordinator stamps it on target/rebalance/converge events, clients
+// echo it on apply/settle — so a post-mortem can follow one decision
+// across process boundaries.
 type Event struct {
-	Seq  uint64 `json:"seq"`
-	At   int64  `json:"at"`
-	Kind string `json:"kind"`
-	App  string `json:"app,omitempty"`
-	A    int64  `json:"a,omitempty"`
-	B    int64  `json:"b,omitempty"`
+	Seq   uint64 `json:"seq"`
+	At    int64  `json:"at"`
+	Kind  string `json:"kind"`
+	App   string `json:"app,omitempty"`
+	A     int64  `json:"a,omitempty"`
+	B     int64  `json:"b,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Recorder is a fixed-capacity ring of Events, safe for concurrent use.

@@ -44,11 +44,11 @@ func FromFlight(ev flight.Event) (Record, bool) {
 	if !ok {
 		return Record{}, false
 	}
-	return Record{At: ev.At, Kind: kind, App: ev.App, A: ev.A, B: ev.B}, true
+	return Record{At: ev.At, Kind: kind, App: ev.App, A: ev.A, B: ev.B, Epoch: ev.Epoch}, true
 }
 
 // ToFlight converts a journal record back to a flight event, for tools
 // that render both streams with the same code.
 func ToFlight(r Record) flight.Event {
-	return flight.Event{Seq: r.Seq, At: r.At, Kind: r.Kind, App: r.App, A: r.A, B: r.B}
+	return flight.Event{Seq: r.Seq, At: r.At, Kind: r.Kind, App: r.App, A: r.A, B: r.B, Epoch: r.Epoch}
 }

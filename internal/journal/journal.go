@@ -59,13 +59,20 @@ const (
 // flight.Event: Seq is assigned by the Writer in append order (starting
 // at 1) and is the recovery continuity check; At is microseconds on the
 // recording layer's clock; A and B carry kind-specific detail.
+//
+// Epoch is the v2 field: the rebalance decision a target/rebalance
+// record belongs to. It is omitted when zero, so v2 writers produce
+// byte-identical payloads to v1 for epoch-less records and v1 decoders
+// (json.Unmarshal with the old struct) still read v2 journals — the
+// unknown field is simply dropped, matching Apply's unknown-kind rule.
 type Record struct {
-	Seq  uint64 `json:"seq"`
-	At   int64  `json:"at"`
-	Kind string `json:"kind"`
-	App  string `json:"app,omitempty"`
-	A    int64  `json:"a,omitempty"`
-	B    int64  `json:"b,omitempty"`
+	Seq   uint64 `json:"seq"`
+	At    int64  `json:"at"`
+	Kind  string `json:"kind"`
+	App   string `json:"app,omitempty"`
+	A     int64  `json:"a,omitempty"`
+	B     int64  `json:"b,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Member is one application's durable registry entry.
@@ -244,6 +251,10 @@ func appendRecordJSON(buf []byte, r *Record) []byte {
 	if r.B != 0 {
 		buf = append(buf, `,"b":`...)
 		buf = strconv.AppendInt(buf, r.B, 10)
+	}
+	if r.Epoch != 0 {
+		buf = append(buf, `,"epoch":`...)
+		buf = strconv.AppendUint(buf, r.Epoch, 10)
 	}
 	return append(buf, '}')
 }

@@ -22,6 +22,8 @@ func sampleRecords() []Record {
 		{Seq: 8, At: 1007, Kind: KindRestart, A: 2, B: 128},
 		{Seq: 9, At: 0, Kind: KindTarget, App: "a-b.c_1", A: -1, B: -2},
 		{Seq: 10, At: -5, Kind: "future_kind"},
+		{Seq: 11, At: 1008, Kind: KindTarget, App: "web", A: 6, B: 8, Epoch: 3},
+		{Seq: 12, At: 1009, Kind: KindRebalance, A: 41, B: 2, Epoch: 4},
 	}
 }
 

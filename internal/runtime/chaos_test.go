@@ -351,14 +351,14 @@ func buildProcctld(t *testing.T) string {
 }
 
 // startProcctld launches the daemon binary and waits for its socket.
-func startProcctld(t *testing.T, bin, sock, jdir string) *exec.Cmd {
+func startProcctld(t *testing.T, bin, sock, jdir string, extra ...string) *exec.Cmd {
 	t.Helper()
-	cmd := exec.Command(bin,
-		"-listen", "unix:"+sock,
+	cmd := exec.Command(bin, append([]string{
+		"-listen", "unix:" + sock,
 		"-capacity", "8",
 		"-journal-dir", jdir,
 		"-fsync-every", "1", // every transition durable before it is acked
-	)
+	}, extra...)...)
 	cmd.Stderr = io.Discard
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
@@ -524,5 +524,157 @@ func TestChaosSimFaultStormDeterministic(t *testing.T) {
 	}
 	if z := run(4321); z == x {
 		t.Error("different seeds produced byte-identical snapshots; faults are not seeded")
+	}
+}
+
+// TestChaosSIGKILLMidEpochProvenance kills the daemon while a rebalance
+// epoch is still open — targets pushed, no member has acked — and
+// restarts it on the journal. Epoch provenance must survive: the
+// restarted daemon's next rebalance gets a strictly larger epoch ID
+// (the journal carries the rebalance count), that epoch settles once
+// the fleet acks it, no orphan open epoch lingers from before the kill,
+// and the whole recovery happens without a single register RPC.
+func TestChaosSIGKILLMidEpochProvenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and execs the real daemon")
+	}
+	bin := buildProcctld(t)
+	sock := filepath.Join(t.TempDir(), "procctld.sock")
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	daemon1 := startProcctld(t, bin, sock, jdir)
+	c, err := coordinator.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Register("batch", 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("web", 6); err != nil {
+		t.Fatal(err)
+	}
+	// web's registration re-split the machine (batch 6->4, web ->4) and
+	// opened an epoch waiting on both members. Nobody acks it: polling
+	// with applied=0 reads the pending target and epoch without
+	// acknowledging, so the daemon dies mid-epoch.
+	target, epochPre, err := c.PollEpoch("web", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != 4 || epochPre == 0 {
+		t.Fatalf("web sees target %d @ epoch %d, want 4 @ nonzero", target, epochPre)
+	}
+	cs, err := c.Converge(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Open < 1 {
+		t.Fatalf("no epoch open at the moment of death; the drill needs one in flight")
+	}
+
+	if err := daemon1.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatal(err)
+	}
+	daemon1.Wait()
+
+	// Restart on the journal with a short lease: the dead clients'
+	// restored registrations must expire rather than linger.
+	startProcctld(t, bin, sock, jdir, "-lease", "500ms")
+	c2, err := coordinator.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// The pre-kill epoch is gone with the process; convergence tracking
+	// is observability, not obligation, so the restarted daemon starts
+	// with a clean open table rather than an orphan it can never close.
+	cs, err = c2.Converge(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Open != 0 {
+		t.Fatalf("restarted daemon has %d open epochs before any rebalance, want 0", cs.Open)
+	}
+
+	// A load change supersedes the dead epoch's targets: 4/4 -> 3/3 for
+	// the two journal-restored members. The journal also restored the
+	// rebalance count, so the new epoch's ID must continue the pre-kill
+	// sequence, not restart it. Polls are connection-bound and nobody
+	// re-registered, so the epoch ID comes from the daemon's flight
+	// ring: the rebalance and target events carry it.
+	if err := c2.SetExternalLoad(2); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := c2.Events(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochPost uint64
+	retargeted := map[string]bool{}
+	for _, ev := range evs {
+		if ev.Kind == flight.KindRebalance && ev.Epoch > epochPost {
+			epochPost = ev.Epoch
+		}
+		if ev.Kind == flight.KindTarget && ev.A == 3 {
+			retargeted[ev.App] = true
+		}
+	}
+	if epochPost <= epochPre {
+		t.Fatalf("post-restart epoch %d not after pre-kill epoch %d; provenance broke across the journal", epochPost, epochPre)
+	}
+	if !retargeted["web"] || !retargeted["batch"] {
+		t.Fatalf("restored members not re-targeted by the superseding epoch: %v", retargeted)
+	}
+
+	// The epoch waits on two members that will never ack — their
+	// processes died with daemon1. Converging is the lease's job: the
+	// sweep expires both registrations. The first departure's own
+	// rebalance epoch re-targets the survivor, superseding the load
+	// epoch; the cascade's last epoch expires with the final member.
+	// Every epoch must close, with the right outcome attributed, and
+	// nothing may stay open.
+	waitFor(t, 5*time.Second, func() bool {
+		st, err := c2.Status()
+		if err != nil || len(st.Apps) != 0 {
+			return false
+		}
+		cs, err = c2.Converge(0)
+		return err == nil && cs.Open == 0
+	}, "superseding epoch never converged after the dead members' leases expired")
+	var closed *coordinator.ConvergeInfo
+	sawExpired := false
+	for i := range cs.Epochs {
+		if cs.Epochs[i].Epoch == epochPost {
+			closed = &cs.Epochs[i]
+		}
+		if cs.Epochs[i].Outcome == coordinator.ConvergeExpired &&
+			cs.Epochs[i].StragglerKind == coordinator.StragglerExpired {
+			sawExpired = true
+		}
+		if cs.Epochs[i].Epoch <= epochPre {
+			t.Errorf("post-restart report carries pre-kill epoch %d; the open table was not clean", cs.Epochs[i].Epoch)
+		}
+	}
+	if closed == nil {
+		t.Fatalf("superseding epoch %d missing from converge reports %+v", epochPost, cs.Epochs)
+	}
+	if closed.Members != 2 ||
+		(closed.Outcome != coordinator.ConvergeExpired && closed.Outcome != coordinator.ConvergeSuperseded) {
+		t.Errorf("superseding epoch report = %+v, want 2 members closed expired or superseded", closed)
+	}
+	if !sawExpired {
+		t.Errorf("no epoch closed as expired although both members left by lease expiry: %+v", cs.Epochs)
+	}
+
+	// The entire drill — restore, supersede, settle — took zero
+	// register RPCs: provenance came from the journal alone.
+	snap, err := c2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := snap.Get(metrics.Name("coordinator_rpcs_total", "op", coordinator.OpRegister)); m != nil && m.Value != 0 {
+		t.Errorf("recovery used %d register RPCs, want 0", m.Value)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"procctl/internal/flight"
@@ -129,24 +130,60 @@ func (c *Client) RegisterWeighted(app string, procs, weight int) (int, error) {
 }
 
 func (c *Client) register(app string, procs int, spin *float64) (int, error) {
-	resp, err := c.roundTrip(&Request{Op: OpRegister, App: app, Procs: procs, SpinPct: spin})
+	target, _, err := c.registerEpoch(app, procs, 0, spin, 0)
+	return target, err
+}
+
+// registerEpoch is register carrying an optional fair-share weight,
+// the applied-epoch ack, and returning the epoch of the rebalance that
+// computed the target (0 from daemons predating epochs).
+func (c *Client) registerEpoch(app string, procs, weight int, spin *float64, applied uint64) (int, uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpRegister, App: app, Procs: procs, Weight: weight, SpinPct: spin, Applied: applied})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return resp.Target, nil
+	return resp.Target, resp.Epoch, nil
 }
 
 // Poll returns the application's current target.
 func (c *Client) Poll(app string) (int, error) {
-	return c.poll(app, nil)
+	t, _, err := c.pollEpoch(app, nil, 0)
+	return t, err
+}
+
+// PollEpoch polls for the current target and its epoch while
+// acknowledging the highest epoch the caller has already applied
+// (0 = nothing to ack). Tools and tests use it directly; DriveWith
+// handles the ack bookkeeping itself.
+func (c *Client) PollEpoch(app string, applied uint64) (int, uint64, error) {
+	return c.pollEpoch(app, nil, applied)
 }
 
 func (c *Client) poll(app string, spin *float64) (int, error) {
-	resp, err := c.roundTrip(&Request{Op: OpPoll, App: app, SpinPct: spin})
+	t, _, err := c.pollEpoch(app, spin, 0)
+	return t, err
+}
+
+func (c *Client) pollEpoch(app string, spin *float64, applied uint64) (int, uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpPoll, App: app, SpinPct: spin, Applied: applied})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return resp.Target, nil
+	return resp.Target, resp.Epoch, nil
+}
+
+// Converge fetches the daemon's convergence report, with up to limit
+// closed epochs (0 = everything retained). Daemons predating the op
+// answer with an error.
+func (c *Client) Converge(limit int) (*ConvergeStatus, error) {
+	resp, err := c.roundTrip(&Request{Op: OpConverge, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Converge == nil {
+		return nil, errors.New("coordinator: empty converge report")
+	}
+	return resp.Converge, nil
 }
 
 // Unregister withdraws the application.
@@ -190,7 +227,15 @@ func (c *Client) Metrics() (*metrics.Snapshot, error) {
 // events, oldest first (limit <= 0 fetches everything the ring
 // retains). Daemons predating the op answer with an error.
 func (c *Client) Events(limit int) ([]flight.Event, error) {
-	resp, err := c.roundTrip(&Request{Op: OpEvents, Limit: limit})
+	return c.EventsFiltered(limit, 0, 0)
+}
+
+// EventsFiltered is Events with the post-mortem filters: only events
+// with sequence numbers >= since, and (when epoch is non-zero) only
+// events stamped with that epoch. Daemons predating the filters ignore
+// them and answer with the plain limited dump.
+func (c *Client) EventsFiltered(limit int, since, epoch uint64) ([]flight.Event, error) {
+	resp, err := c.roundTrip(&Request{Op: OpEvents, Limit: limit, Since: since, Epoch: epoch})
 	if err != nil {
 		return nil, err
 	}
@@ -250,8 +295,13 @@ type DriveOptions struct {
 	// span: poll round-trip latency and the "apply" stage (response
 	// received → SetTarget done).
 	Metrics *metrics.Registry
-	// Flight, when non-nil, receives redial/reconnect events — the
-	// client-side entries of the control plane's flight log.
+	// Weight is the fair-share weight the driver registers (and
+	// re-registers) with; non-positive means the default unit share.
+	Weight int
+	// Flight, when non-nil, receives redial/reconnect events and, for
+	// every target the driver applies, an epoch-stamped apply event —
+	// the client-side entries of the control plane's flight log, which
+	// procctl-trace's daemon export merges with the daemon's ring.
 	Flight *flight.Recorder
 }
 
@@ -303,6 +353,11 @@ type Driver struct {
 	stats  DriveStats
 	lostAt time.Time // zero when connected
 
+	// applied is the highest rebalance epoch whose target this driver
+	// has pushed into the application — the value acked back to the
+	// daemon on every poll and register.
+	applied atomic.Uint64
+
 	done chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
@@ -322,7 +377,7 @@ type Driver struct {
 // after that is handled.
 func (c *Client) DriveWith(app string, procs int, t Targeter, opts DriveOptions) (*Driver, error) {
 	opts = opts.withDefaults()
-	target, err := c.register(app, procs, spinOf(t))
+	target, epoch, err := c.registerEpoch(app, procs, opts.Weight, spinOf(t), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -342,11 +397,14 @@ func (c *Client) DriveWith(app string, procs int, t Targeter, opts DriveOptions)
 		d.applyMicros = reg.Histogram(metrics.Name("coordinator_rebalance_latency_micros", "stage", StageApply, "app", app),
 			"rebalance span, client side: poll response received until SetTarget returned", metrics.LatencyBuckets)
 	}
-	d.apply(target)
+	d.apply(target, epoch)
 	d.wg.Add(1)
 	go d.loop()
 	return d, nil
 }
+
+// Applied returns the highest rebalance epoch this driver has applied.
+func (d *Driver) Applied() uint64 { return d.applied.Load() }
 
 // Stats returns a snapshot of the driver's health.
 func (d *Driver) Stats() DriveStats {
@@ -372,10 +430,22 @@ func (d *Driver) Stop() {
 // apply pushes a target to the application and the stats. The SetTarget
 // call is the client half of the rebalance span ("apply" stage): it is
 // member code — a pool resizing, workers parking — and the histogram
-// shows when *it*, not the daemon, is the tail.
-func (d *Driver) apply(target int) {
+// shows when *it*, not the daemon, is the tail. A non-zero epoch is
+// handed through to epoch-aware applications (*pool.Pool), stamped into
+// the apply flight event, and remembered for the ack the next wire
+// round carries; newEpoch reports whether it advanced the driver's
+// applied-epoch watermark, so the loop can ack promptly instead of
+// waiting out the poll interval.
+func (d *Driver) apply(target int, epoch uint64) (newEpoch bool) {
+	d.mu.Lock()
+	prev := d.stats.Target
+	d.mu.Unlock()
 	start := time.Now()
-	d.t.SetTarget(target)
+	if em, ok := d.t.(EpochMember); ok && epoch != 0 {
+		em.SetTargetEpoch(target, epoch)
+	} else {
+		d.t.SetTarget(target)
+	}
 	if d.applyMicros != nil {
 		d.applyMicros.Observe(time.Since(start).Microseconds())
 	}
@@ -385,6 +455,15 @@ func (d *Driver) apply(target int) {
 	if d.targetGauge != nil {
 		d.targetGauge.Set(int64(target))
 	}
+	if epoch != 0 && epoch > d.applied.Load() {
+		d.applied.Store(epoch)
+		newEpoch = true
+	}
+	if rec := d.opts.Flight; rec != nil {
+		rec.Append(flight.Event{At: time.Now().UnixMicro(), Kind: flight.KindApply,
+			App: d.app, A: int64(target), B: int64(prev), Epoch: epoch})
+	}
+	return newEpoch
 }
 
 // setDegraded flips the degraded flag (and gauge); entering degraded
@@ -426,6 +505,11 @@ func (d *Driver) loop() {
 	backoff := d.opts.BackoffMin
 	now := time.Now()
 	nextPoll := now.Add(d.opts.Interval)
+	if d.applied.Load() != 0 {
+		// The registration response carried an epoch: ack it on the
+		// first tick rather than one full poll interval later.
+		nextPoll = now
+	}
 	var lostAt, nextRedial, nextDecay time.Time
 
 	for {
@@ -440,13 +524,19 @@ func (d *Driver) loop() {
 				continue
 			}
 			pollStart := time.Now()
-			target, err := d.c.poll(d.app, spinOf(d.t))
+			target, epoch, err := d.c.pollEpoch(d.app, spinOf(d.t), d.applied.Load())
 			if err == nil {
 				if d.pollMicros != nil {
 					d.pollMicros.Observe(time.Since(pollStart).Microseconds())
 				}
 				d.count(func(s *DriveStats) { s.Polls++ }, d.polls)
-				d.apply(target)
+				if d.apply(target, epoch) {
+					// A fresh epoch was applied: poll again on the next
+					// tick so the ack reaches the daemon's convergence
+					// tracker promptly instead of one poll interval late.
+					nextPoll = now
+					continue
+				}
 				nextPoll = now.Add(d.opts.Interval)
 				continue
 			}
@@ -470,14 +560,17 @@ func (d *Driver) loop() {
 			if err := d.c.Redial(); err == nil {
 				// Transparent re-register: a restarted daemon has an
 				// empty member table; a surviving daemon just replaces
-				// the member. Either way the fresh target applies.
-				if target, err := d.c.register(d.app, d.procs, spinOf(d.t)); err == nil {
+				// the member. Either way the fresh target applies. The
+				// applied-epoch ack rides along: a restarted daemon
+				// resumes its epoch counter from the journal, so the
+				// watermark stays meaningful across the gap.
+				if target, epoch, err := d.c.registerEpoch(d.app, d.procs, d.opts.Weight, spinOf(d.t), d.applied.Load()); err == nil {
 					d.count(func(s *DriveStats) { s.Reconnects++ }, d.reconnects)
 					if rec := d.opts.Flight; rec != nil {
 						rec.Append(flight.Event{At: time.Now().UnixMicro(), Kind: flight.KindReconnect, App: d.app, A: int64(target)})
 					}
 					d.setDegraded(false, now)
-					d.apply(target)
+					d.apply(target, epoch)
 					connected = true
 					nextPoll = now.Add(d.opts.Interval)
 					continue
@@ -499,7 +592,7 @@ func (d *Driver) loop() {
 			cur := d.stats.Target
 			d.mu.Unlock()
 			if cur < d.procs {
-				d.apply(cur + (d.procs-cur+1)/2)
+				d.apply(cur+(d.procs-cur+1)/2, 0) // self-decided: no epoch to credit
 			}
 			nextDecay = now.Add(d.opts.Interval)
 		}

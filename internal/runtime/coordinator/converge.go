@@ -1,0 +1,295 @@
+package coordinator
+
+import (
+	"sync"
+
+	"procctl/internal/flight"
+	"procctl/internal/metrics"
+)
+
+// Convergence tracking: every rebalance that changes at least one
+// member's target opens an epoch, and the epoch closes when the last of
+// those members acknowledges that it applied its new target — the
+// paper's claim ("coordination converges the fleet") turned into a
+// measurable per-decision latency. An epoch can also close without
+// settling: a later rebalance that re-targets all of its still-pending
+// members supersedes it (their old targets will never be acked), and a
+// pending member that unregisters or loses its lease expires out of it.
+//
+// Outcome label values of coordinator_convergence_latency_micros and
+// coordinator_convergence_epochs_total.
+const (
+	ConvergeSettled    = "settled"    // last pending member acked its applied target
+	ConvergeSuperseded = "superseded" // a newer epoch re-targeted every pending member
+	ConvergeExpired    = "expired"    // the last pending member left the fleet instead of acking
+)
+
+// Straggler kinds: how the member that closed the epoch applied (or
+// failed to apply) its target. Deliberately a closed set — member
+// *names* go into converge reports and flight events, never into metric
+// labels, so fleet size cannot explode series cardinality.
+const (
+	StragglerInproc  = "inproc"  // in-process member; SetTarget applied synchronously
+	StragglerRemote  = "remote"  // socket member; ack arrived on a poll
+	StragglerExpired = "expired" // member left the fleet with the epoch open
+)
+
+// openEpoch is one epoch awaiting acks. The pending slice is recycled
+// through the tracker's free list, so the open→ack→close cycle
+// allocates nothing in steady state.
+type openEpoch struct {
+	epoch    uint64
+	openedAt int64 // µs, the decision instant (allocation computed)
+	members  int   // pending members at open
+	pending  []pendingMember
+}
+
+// pendingMember is one member an open epoch is waiting on.
+type pendingMember struct {
+	name   string
+	remote bool
+}
+
+// closedRing bounds how many closed-epoch reports the converge op can
+// serve; older reports live on only in the histograms and flight ring.
+const closedRing = 64
+
+// convergeMetrics is the tracker's slice of the coordinator registry:
+// per-outcome latency histograms and epoch counters, per-kind straggler
+// counters, and an open-epochs gauge. All label values come from the
+// closed sets above.
+type convergeMetrics struct {
+	latency    map[string]*metrics.Histogram
+	epochs     map[string]*metrics.Counter
+	stragglers map[string]*metrics.Counter
+}
+
+func newConvergeMetrics(reg *metrics.Registry) convergeMetrics {
+	m := convergeMetrics{
+		latency:    make(map[string]*metrics.Histogram, 3),
+		epochs:     make(map[string]*metrics.Counter, 3),
+		stragglers: make(map[string]*metrics.Counter, 3),
+	}
+	for _, outcome := range []string{ConvergeSettled, ConvergeSuperseded, ConvergeExpired} {
+		m.latency[outcome] = reg.Histogram(metrics.Name("coordinator_convergence_latency_micros", "outcome", outcome),
+			"decision-to-closed latency of a rebalance epoch", metrics.LatencyBuckets)
+		m.epochs[outcome] = reg.Counter(metrics.Name("coordinator_convergence_epochs_total", "outcome", outcome),
+			"rebalance epochs closed")
+	}
+	for _, kind := range []string{StragglerInproc, StragglerRemote, StragglerExpired} {
+		m.stragglers[kind] = reg.Counter(metrics.Name("coordinator_convergence_stragglers_total", "kind", kind),
+			"last member to close an epoch, by how it closed")
+	}
+	return m
+}
+
+// convergeTracker owns the open-epoch table. Its mutex is a leaf lock
+// like pushMu: held only across in-memory bookkeeping and flight-ring
+// appends, never across member code, c.mu, or journal I/O (converge
+// events are observability-only and are not journaled).
+type convergeTracker struct {
+	mu   sync.Mutex
+	open []*openEpoch // ascending by epoch
+	free []*openEpoch
+
+	closed     [closedRing]ConvergeInfo
+	closedNext int
+	closedN    int
+
+	rec *flight.Recorder
+	met convergeMetrics
+}
+
+func newConvergeTracker(reg *metrics.Registry, rec *flight.Recorder) *convergeTracker {
+	cv := &convergeTracker{rec: rec, met: newConvergeMetrics(reg)}
+	openGauge := reg.Gauge("coordinator_convergence_open_epochs", "rebalance epochs still awaiting member acks")
+	reg.OnCollect(func() { openGauge.Set(int64(cv.OpenEpochs())) })
+	return cv
+}
+
+// Open starts tracking an epoch waiting on the given changed members.
+// Members of *older* open epochs that appear in changed are superseded
+// out of them first: their old targets will never be acknowledged. An
+// epoch with no changed members is not tracked — nothing propagates, so
+// there is nothing to converge.
+func (cv *convergeTracker) Open(epoch uint64, at int64, changed []pendingMember) {
+	if cv == nil {
+		return
+	}
+	cv.mu.Lock()
+	for _, ch := range changed {
+		cv.removeLocked(ch.name, at, epoch, ConvergeSuperseded)
+	}
+	if len(changed) > 0 {
+		o := cv.acquireLocked()
+		o.epoch = epoch
+		o.openedAt = at
+		o.members = len(changed)
+		o.pending = append(o.pending[:0], changed...)
+		cv.insertLocked(o)
+	}
+	cv.mu.Unlock()
+}
+
+// Ack acknowledges that name has applied the target it was pushed in
+// epoch `through`; because targets are delivered newest-wins, this also
+// acknowledges every older epoch still waiting on the member.
+func (cv *convergeTracker) Ack(name string, through uint64, at int64) {
+	if cv == nil || through == 0 {
+		return
+	}
+	cv.mu.Lock()
+	cv.removeLocked(name, at, through+1, ConvergeSettled)
+	cv.mu.Unlock()
+}
+
+// Drop removes a departed member (unregister, lease expiry, shutdown)
+// from every open epoch; epochs that were waiting only on it close as
+// expired.
+func (cv *convergeTracker) Drop(name string, at int64) {
+	if cv == nil {
+		return
+	}
+	cv.mu.Lock()
+	cv.removeLocked(name, at, ^uint64(0), ConvergeExpired)
+	cv.mu.Unlock()
+}
+
+// removeLocked removes name from every open epoch below limit, closing
+// the ones it empties with the given outcome. Iteration compacts the
+// open table in place.
+func (cv *convergeTracker) removeLocked(name string, at int64, limit uint64, outcome string) {
+	keep := cv.open[:0]
+	for _, o := range cv.open {
+		if o.epoch >= limit {
+			keep = append(keep, o)
+			continue
+		}
+		remote, found := false, false
+		for i := range o.pending {
+			if o.pending[i].name == name {
+				remote = o.pending[i].remote
+				o.pending = append(o.pending[:i], o.pending[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if found && len(o.pending) == 0 {
+			cv.closeLocked(o, at, outcome, name, remote)
+			continue
+		}
+		keep = append(keep, o)
+	}
+	cv.open = keep
+}
+
+// closeLocked records an epoch's closure: histogram, counters, the
+// closed-report ring, and a converge flight event naming the straggler.
+// The flight append acquires only the ring's own leaf mutex.
+func (cv *convergeTracker) closeLocked(o *openEpoch, at int64, outcome, straggler string, remote bool) {
+	latency := at - o.openedAt
+	if latency < 0 {
+		latency = 0
+	}
+	kind := StragglerInproc
+	switch {
+	case outcome == ConvergeExpired:
+		kind = StragglerExpired
+	case remote:
+		kind = StragglerRemote
+	}
+	cv.met.latency[outcome].Observe(latency)
+	cv.met.epochs[outcome].Inc()
+	cv.met.stragglers[kind].Inc()
+	cv.closed[cv.closedNext] = ConvergeInfo{
+		Epoch:         o.epoch,
+		Members:       o.members,
+		Outcome:       outcome,
+		LatencyMicros: latency,
+		Straggler:     straggler,
+		StragglerKind: kind,
+		ClosedAt:      at,
+	}
+	cv.closedNext = (cv.closedNext + 1) % closedRing
+	if cv.closedN < closedRing {
+		cv.closedN++
+	}
+	if cv.rec != nil {
+		cv.rec.Append(flight.Event{At: at, Kind: flight.KindConverge,
+			App: straggler, A: latency, B: int64(o.members), Epoch: o.epoch})
+	}
+	o.pending = o.pending[:0]
+	cv.free = append(cv.free, o)
+}
+
+// acquireLocked recycles an openEpoch from the free list.
+func (cv *convergeTracker) acquireLocked() *openEpoch {
+	if n := len(cv.free); n > 0 {
+		o := cv.free[n-1]
+		cv.free = cv.free[:n-1]
+		return o
+	}
+	return &openEpoch{}
+}
+
+// insertLocked keeps the open table ascending by epoch, so supersede
+// and ack passes see "older" as a prefix even when concurrent notifies
+// open epochs out of order.
+func (cv *convergeTracker) insertLocked(o *openEpoch) {
+	i := len(cv.open)
+	for i > 0 && cv.open[i-1].epoch > o.epoch {
+		i--
+	}
+	cv.open = append(cv.open, nil)
+	copy(cv.open[i+1:], cv.open[i:])
+	cv.open[i] = o
+}
+
+// OpenEpochs returns how many epochs are still awaiting acks.
+func (cv *convergeTracker) OpenEpochs() int {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	return len(cv.open)
+}
+
+// Reports returns up to limit of the most recently closed epochs,
+// newest first (limit <= 0 returns everything retained).
+func (cv *convergeTracker) Reports(limit int) []ConvergeInfo {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	n := cv.closedN
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]ConvergeInfo, n)
+	for i := 0; i < n; i++ {
+		out[i] = cv.closed[(cv.closedNext-1-i+2*closedRing)%closedRing]
+	}
+	return out
+}
+
+// ConvergeBench drives open→ack→close cycles on a standalone tracker.
+// It exists for procctl-bench's ConvergeTrack zero-alloc gate: the full
+// rebalance path allocates for snapshots and gauges by design, so the
+// gate pins the tracker's own steady-state cycle — free list plus
+// closed ring — at zero allocations in isolation.
+type ConvergeBench struct {
+	cv      *convergeTracker
+	pending [1]pendingMember
+}
+
+// NewConvergeBench returns a bench harness around a fresh tracker with
+// its own registry and flight ring.
+func NewConvergeBench() *ConvergeBench {
+	return &ConvergeBench{
+		cv:      newConvergeTracker(metrics.NewRegistry(), flight.New(flight.DefaultSize)),
+		pending: [1]pendingMember{{name: "bench", remote: true}},
+	}
+}
+
+// Cycle opens one single-member epoch at the given instant and settles
+// it one microsecond later.
+func (b *ConvergeBench) Cycle(epoch uint64, at int64) {
+	b.cv.Open(epoch, at, b.pending[:])
+	b.cv.Ack("bench", epoch, at+1)
+}

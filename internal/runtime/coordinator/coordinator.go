@@ -39,6 +39,18 @@ type Member interface {
 	SetTarget(n int)
 }
 
+// EpochMember is an optional Member extension: accept the target
+// together with the epoch of the rebalance that computed it, and report
+// whether the target was applied synchronously. In-process members
+// (*pool.Pool) apply before returning and answer true — the epoch acks
+// immediately. Asynchronous members (the server's socket members store
+// the target for the application's next poll) answer false; their ack
+// arrives later, through Coordinator.AckApplied. Members implementing
+// only plain SetTarget are treated as applying synchronously.
+type EpochMember interface {
+	SetTargetEpoch(n int, epoch uint64) (applied bool)
+}
+
 // entry is one registered member with everything the coordinator reads
 // under its lock cached at registration time, so no Member method runs
 // inside a critical section.
@@ -73,15 +85,23 @@ type Coordinator struct {
 	// leaf lock, never held across member code or c.mu.
 	pushMu     sync.Mutex
 	lastPushed map[string]int
+
+	// conv tracks open rebalance epochs until every changed member acks
+	// its applied target (see converge.go).
+	conv *convergeTracker
 }
 
 // snapshot is an immutable copy of the allocation inputs, taken under
-// c.mu and consumed outside it.
+// c.mu and consumed outside it. epoch is the monotonically increasing
+// identity of the rebalance the snapshot feeds — the lifetime rebalance
+// count, which RestoreState resumes across daemon restarts, so epoch
+// IDs never repeat within one journal's history.
 type snapshot struct {
 	entries   []entry
 	capacity  int
 	external  int
 	loadAware bool
+	epoch     uint64
 }
 
 // Rebalance span stages, in causal order: the member event waiting on
@@ -150,6 +170,7 @@ func New(capacity int) *Coordinator {
 		lastPushed: make(map[string]int),
 	}
 	c.met = newCoordMetrics(metrics.NewRegistry())
+	c.conv = newConvergeTracker(c.met.reg, c.rec)
 	c.met.reg.OnCollect(func() {
 		c.mu.Lock()
 		members, capacity, external := len(c.entries), c.capacity, c.external
@@ -322,10 +343,14 @@ func (c *Coordinator) Unregister(name string) {
 	c.unregister(name, true)
 }
 
-// UnregisterQuiet is Unregister without the journal append. The
-// server's clean-shutdown path uses it: members dropped because the
-// daemon is exiting are not leaving the fleet, and journaling their
-// departure would make recovery reconstruct an empty registry.
+// UnregisterQuiet is Unregister without the journal append — and
+// without the departure rebalance. The server's clean-shutdown path
+// uses it: members dropped because the daemon is exiting are not
+// leaving the fleet, so journaling their departure would make recovery
+// reconstruct an empty registry, and rebalancing over the shrinking
+// remainder would journal target decisions that a replay of the
+// (deliberately unjournaled) departures cannot explain. The flight
+// event still lands in the ring for post-mortems.
 func (c *Coordinator) UnregisterQuiet(name string) {
 	c.unregister(name, false)
 }
@@ -350,7 +375,14 @@ func (c *Coordinator) unregister(name string, durable bool) {
 		c.rec.Append(ev)
 		if durable {
 			c.journalAppend(ev)
+			// A departed member will never ack: expire it out of every
+			// epoch still waiting on it before the epoch its departure
+			// opens.
+			c.conv.Drop(name, start.UnixMicro())
 		}
+	}
+	if !durable {
+		return
 	}
 	c.notify(snap, start)
 }
@@ -379,10 +411,13 @@ func (c *Coordinator) viewLocked() snapshot {
 }
 
 // snapshotLocked is viewLocked plus the rebalance count: use it when
-// the snapshot will be passed to notify after unlocking.
+// the snapshot will be passed to notify after unlocking. The bumped
+// count doubles as the rebalance's epoch ID.
 func (c *Coordinator) snapshotLocked() snapshot {
 	c.rebalances++
-	return c.viewLocked()
+	snap := c.viewLocked()
+	snap.epoch = uint64(c.rebalances)
+	return snap
 }
 
 // Members returns the registered member names in registration order.
@@ -488,8 +523,34 @@ func (c *Coordinator) notify(snap snapshot, start time.Time) {
 	c.met.rebalanceCount.Inc()
 	alloc := c.allocate(snap)
 	recomputeDone := time.Now()
+
+	// Decide which pushes actually change a member's target *before* the
+	// fan-out, under the pushMu leaf lock: the changed set is what the
+	// convergence tracker waits on, and the epoch must be open before
+	// any member can ack it. (Two concurrent notifies may still
+	// interleave their SetTarget pushes — the documented transient — in
+	// which case the older epoch is superseded on the spot.)
+	changed := make([]changedPush, 0, len(snap.entries))
+	c.pushMu.Lock()
 	for i, e := range snap.entries {
-		e.m.SetTarget(alloc[i])
+		old, ok := c.lastPushed[e.name]
+		if !ok || old != alloc[i] {
+			_, remote := e.m.(*remoteMember)
+			changed = append(changed, changedPush{idx: i, old: old, member: pendingMember{name: e.name, remote: remote}})
+			c.lastPushed[e.name] = alloc[i]
+		}
+	}
+	c.pushMu.Unlock()
+	c.conv.Open(snap.epoch, recomputeDone.UnixMicro(), pendingOf(changed))
+
+	applied := make([]bool, len(snap.entries))
+	for i, e := range snap.entries {
+		if em, ok := e.m.(EpochMember); ok {
+			applied[i] = em.SetTargetEpoch(alloc[i], snap.epoch)
+		} else {
+			e.m.SetTarget(alloc[i])
+			applied[i] = true
+		}
 		c.met.reg.Gauge(metrics.Name("coordinator_target", "app", e.name), "processors allotted to this member").Set(int64(alloc[i]))
 	}
 	end := time.Now()
@@ -498,24 +559,54 @@ func (c *Coordinator) notify(snap snapshot, start time.Time) {
 		c.met.observeStage(i, d)
 	}
 	c.RecordEvent(flight.Event{At: end.UnixMicro(), Kind: flight.KindRebalance,
-		A: end.Sub(start).Microseconds(), B: int64(len(snap.entries))})
-	for i, e := range snap.entries {
-		c.noteTarget(e.name, alloc[i], end.UnixMicro())
+		A: end.Sub(start).Microseconds(), B: int64(len(snap.entries)), Epoch: snap.epoch})
+	for _, ch := range changed {
+		c.RecordEvent(flight.Event{At: end.UnixMicro(), Kind: flight.KindTarget,
+			App: ch.member.name, A: int64(alloc[ch.idx]), B: int64(ch.old), Epoch: snap.epoch})
+	}
+	// Synchronous appliers ack after their change is on record, so the
+	// converge event never precedes its target event in the ring.
+	for _, ch := range changed {
+		if applied[ch.idx] {
+			c.conv.Ack(ch.member.name, snap.epoch, end.UnixMicro())
+		}
 	}
 }
 
-// noteTarget records a target *change* into the flight recorder: pushes
-// that repeat the member's previous target are the steady state and
-// would drown the ring in no-ops.
-func (c *Coordinator) noteTarget(name string, target int, at int64) {
-	c.pushMu.Lock()
-	old, ok := c.lastPushed[name]
-	c.lastPushed[name] = target
-	c.pushMu.Unlock()
-	if !ok || old != target {
-		c.RecordEvent(flight.Event{At: at, Kind: flight.KindTarget, App: name, A: int64(target), B: int64(old)})
-	}
+// changedPush is one target change a rebalance fan-out will deliver.
+type changedPush struct {
+	idx    int // index into the snapshot's entries
+	old    int // previous pushed target (0 if never pushed)
+	member pendingMember
 }
+
+// pendingOf projects the changed set onto what the tracker waits on.
+func pendingOf(changed []changedPush) []pendingMember {
+	if len(changed) == 0 {
+		return nil
+	}
+	out := make([]pendingMember, len(changed))
+	for i, ch := range changed {
+		out[i] = ch.member
+	}
+	return out
+}
+
+// AckApplied records that the named member has applied the target it
+// was pushed in the given epoch (and, transitively, every older one).
+// The server calls it when a poll carries the client's applied-epoch
+// acknowledgement; at is the acknowledging request's arrival in Unix
+// microseconds.
+func (c *Coordinator) AckApplied(name string, epoch uint64, at int64) {
+	c.conv.Ack(name, epoch, at)
+}
+
+// OpenEpochs returns how many rebalance epochs are still awaiting acks.
+func (c *Coordinator) OpenEpochs() int { return c.conv.OpenEpochs() }
+
+// ConvergeReports returns up to limit of the most recently closed
+// epochs, newest first (limit <= 0 returns everything retained).
+func (c *Coordinator) ConvergeReports(limit int) []ConvergeInfo { return c.conv.Reports(limit) }
 
 // Events returns up to limit of the most recent flight-recorder events,
 // oldest first (limit <= 0 returns everything retained). The recorder

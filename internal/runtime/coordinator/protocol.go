@@ -22,8 +22,15 @@ import (
 //	<- {"ok":true,"status":{...}}
 //	-> {"op":"metrics"}
 //	<- {"ok":true,"metrics":{"at":...,"metrics":[...]}}
-//	-> {"op":"events","limit":100}
+//	-> {"op":"events","limit":100,"since":42,"epoch":7}
 //	<- {"ok":true,"events":[{"seq":...,"at":...,"kind":"register",...},...]}
+//	-> {"op":"converge","limit":8}
+//	<- {"ok":true,"converge":{"open":0,"epochs":[...],"p99_us":...}}
+//
+// Register and poll responses carry the epoch of the rebalance that
+// computed the returned target; clients echo the highest epoch they
+// have applied back as applied_epoch, which is how the daemon's
+// convergence tracker learns a decision has reached the fleet.
 //
 // Registrations are owned by their connection: when the connection
 // drops, its applications are unregistered and their processors are
@@ -47,8 +54,21 @@ type Request struct {
 	// pointer distinguishes "not reported" from a genuine 0%.
 	SpinPct *float64 `json:"spin_pct,omitempty"`
 	// Limit caps how many flight-recorder events an "events" request
-	// returns (0 = everything the ring retains).
+	// returns (0 = everything the ring retains); the "converge" op
+	// reuses it to cap closed-epoch reports.
 	Limit int `json:"limit,omitempty"`
+	// Applied acknowledges the highest rebalance epoch whose target the
+	// client has applied, piggybacked on register and poll. 0 means "not
+	// reporting" (old clients never send the field), so the daemon's
+	// convergence tracker only waits on members that speak epochs.
+	Applied uint64 `json:"applied_epoch,omitempty"`
+	// Since filters an "events" dump to sequence numbers >= Since, so a
+	// post-mortem can resume from where the last dump stopped instead of
+	// re-reading the whole ring.
+	Since uint64 `json:"since,omitempty"`
+	// Epoch filters an "events" dump to records stamped with this epoch
+	// (0 = no filter).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Response is one server reply.
@@ -58,9 +78,15 @@ type Response struct {
 	Target  int               `json:"target,omitempty"`
 	Status  *Status           `json:"status,omitempty"`
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// Epoch is the rebalance epoch that computed Target, served with
+	// register and poll responses so the client can stamp its apply
+	// events and ack the epoch back. 0 from daemons predating epochs.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Events is the flight-recorder dump served by the "events" op,
 	// oldest first.
 	Events []flight.Event `json:"events,omitempty"`
+	// Converge is the convergence report served by the "converge" op.
+	Converge *ConvergeStatus `json:"converge,omitempty"`
 }
 
 // Status is the coordinator state snapshot served to inspectors.
@@ -104,6 +130,32 @@ type AppStatus struct {
 	SpinPct *float64 `json:"spin_pct,omitempty"`
 }
 
+// ConvergeInfo is one closed rebalance epoch: how long the decision
+// took to propagate to every changed member, and which member closed
+// it. Straggler names appear here and in the flight ring only — never
+// as metric labels.
+type ConvergeInfo struct {
+	Epoch         uint64 `json:"epoch"`
+	Members       int    `json:"members"`
+	Outcome       string `json:"outcome"` // settled | superseded | expired
+	LatencyMicros int64  `json:"latency_micros"`
+	Straggler     string `json:"straggler,omitempty"`
+	StragglerKind string `json:"straggler_kind,omitempty"` // inproc | remote | expired
+	ClosedAt      int64  `json:"closed_at,omitempty"`
+}
+
+// ConvergeStatus is the convergence report the "converge" op serves:
+// the open-epoch count, recently closed epochs (newest first), and the
+// settled-latency quantiles from the daemon's histograms.
+type ConvergeStatus struct {
+	Open    int            `json:"open"`
+	Epochs  []ConvergeInfo `json:"epochs,omitempty"`
+	Settled int64          `json:"settled"`
+	P50     int64          `json:"p50_us,omitempty"`
+	P99     int64          `json:"p99_us,omitempty"`
+	P999    int64          `json:"p999_us,omitempty"`
+}
+
 // Protocol op names.
 const (
 	OpRegister   = "register"
@@ -113,4 +165,5 @@ const (
 	OpStatus     = "status"
 	OpMetrics    = "metrics"
 	OpEvents     = "events"
+	OpConverge   = "converge"
 )

@@ -68,16 +68,38 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // paper's poll-based delivery; its spin% is whatever the client last
 // piggybacked on a register or poll.
 type remoteMember struct {
-	name    string
-	procs   int
-	target  atomic.Int64
+	name  string
+	procs int
+	// tpack holds the pending target and the epoch that computed it in
+	// one word (epoch high 48 bits, target low 16), so a poll can never
+	// pair a new epoch with a stale target — the torn read that would
+	// make a client ack an epoch whose target it never applied. Targets
+	// are processor counts; 16 bits is not a real bound.
+	tpack   atomic.Uint64
 	spin    atomic.Uint64 // math.Float64bits of the reported spin%
 	spinSet atomic.Bool   // false until the client first reports one
 }
 
+const targetBits = 16
+
 func (r *remoteMember) Name() string    { return r.name }
 func (r *remoteMember) Workers() int    { return r.procs }
-func (r *remoteMember) SetTarget(n int) { r.target.Store(int64(n)) }
+func (r *remoteMember) SetTarget(n int) { r.SetTargetEpoch(n, 0) }
+
+// SetTargetEpoch stores the target for the application's next poll. It
+// never applies synchronously — the ack arrives over the wire — so it
+// always answers false.
+func (r *remoteMember) SetTargetEpoch(n int, epoch uint64) bool {
+	r.tpack.Store(epoch<<targetBits | uint64(n)&(1<<targetBits-1))
+	return false
+}
+
+// targetEpoch returns the pending target and its epoch as one
+// consistent pair.
+func (r *remoteMember) targetEpoch() (int, uint64) {
+	v := r.tpack.Load()
+	return int(v & (1<<targetBits - 1)), v >> targetBits
+}
 
 // noteSpin records a client-reported spin%; a nil report (old client,
 // target without instrumentation) leaves the last value in place.
@@ -204,7 +226,7 @@ func (s *Server) Restore(st journal.State, now time.Time) int {
 	s.coord.RestoreState(st.External, st.Rebalances)
 	for _, jm := range st.Members {
 		m := &remoteMember{name: jm.Name, procs: jm.Procs}
-		m.target.Store(int64(jm.Target))
+		m.SetTargetEpoch(jm.Target, 0) // the restoring epoch is unknown; nothing to ack
 		s.coord.RestoreMember(m, jm.Weight, jm.Target)
 		if s.cfg.Lease > 0 {
 			s.mu.Lock()
@@ -475,7 +497,13 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 		s.owners[req.App] = cs
 		delete(s.recovered, req.App)
 		s.mu.Unlock()
-		return Response{OK: true, Target: int(m.target.Load())}
+		if req.Applied > 0 {
+			// A reconnecting client may still be acking an epoch the
+			// previous incarnation of its registration was pushed.
+			s.coord.AckApplied(req.App, req.Applied, time.Now().UnixMicro())
+		}
+		target, epoch := m.targetEpoch()
+		return Response{OK: true, Target: target, Epoch: epoch}
 
 	case OpPoll:
 		m, ok := owned[req.App]
@@ -483,7 +511,11 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 			return errResp(fmt.Errorf("app %q not registered on this connection", req.App))
 		}
 		m.noteSpin(req.SpinPct)
-		return Response{OK: true, Target: int(m.target.Load())}
+		if req.Applied > 0 {
+			s.coord.AckApplied(req.App, req.Applied, time.Now().UnixMicro())
+		}
+		target, epoch := m.targetEpoch()
+		return Response{OK: true, Target: target, Epoch: epoch}
 
 	case OpUnregister:
 		if _, ok := owned[req.App]; !ok {
@@ -508,7 +540,10 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 		return Response{OK: true, Metrics: s.coord.Snapshot()}
 
 	case OpEvents:
-		return Response{OK: true, Events: s.coord.Events(req.Limit)}
+		return Response{OK: true, Events: filterEvents(s.coord.Events(0), req.Since, req.Epoch, req.Limit)}
+
+	case OpConverge:
+		return Response{OK: true, Converge: s.convergeStatus(req.Limit)}
 
 	default:
 		return errResp(fmt.Errorf("unknown op %q", req.Op))
@@ -593,6 +628,47 @@ func stageLatencies(snap *metrics.Snapshot) []StageLatency {
 		})
 	}
 	return out
+}
+
+// filterEvents applies the events op's selection: sequence numbers >=
+// since, an exact epoch stamp when epoch is non-zero, and then at most
+// the limit most recent survivors (limit <= 0 keeps them all). Events
+// stay oldest first.
+func filterEvents(evs []flight.Event, since, epoch uint64, limit int) []flight.Event {
+	if since > 0 || epoch > 0 {
+		kept := evs[:0]
+		for _, ev := range evs {
+			if ev.Seq < since {
+				continue
+			}
+			if epoch > 0 && ev.Epoch != epoch {
+				continue
+			}
+			kept = append(kept, ev)
+		}
+		evs = kept
+	}
+	if limit > 0 && len(evs) > limit {
+		evs = evs[len(evs)-limit:]
+	}
+	return evs
+}
+
+// convergeStatus assembles the converge op's report: open epochs,
+// recently closed ones, and the settled-latency quantiles.
+func (s *Server) convergeStatus(limit int) *ConvergeStatus {
+	cs := &ConvergeStatus{
+		Open:   s.coord.OpenEpochs(),
+		Epochs: s.coord.ConvergeReports(limit),
+	}
+	snap := s.coord.Snapshot()
+	if m := snap.Get(metrics.Name("coordinator_convergence_latency_micros", "outcome", ConvergeSettled)); m != nil && m.Count > 0 {
+		cs.Settled = m.Count
+		cs.P50 = m.Quantile(500)
+		cs.P99 = m.Quantile(990)
+		cs.P999 = m.Quantile(999)
+	}
+	return cs
 }
 
 func errResp(err error) Response {

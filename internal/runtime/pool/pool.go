@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"procctl/internal/flight"
 	"procctl/internal/metrics"
 )
 
@@ -37,6 +38,11 @@ type Config struct {
 	// Metrics). Sharing one registry across pools and an in-process
 	// coordinator yields a single exportable snapshot.
 	Metrics *metrics.Registry
+	// Flight, when non-nil, receives an epoch-stamped settle event each
+	// time the pool's runnable-worker count actually reaches a changed
+	// target — the last hop of a rebalance decision's propagation.
+	// Share the client driver's recorder so the two streams interleave.
+	Flight *flight.Recorder
 }
 
 // Stats is a snapshot of pool accounting.
@@ -61,6 +67,13 @@ type Pool struct {
 	executing int // workers currently inside a task
 	closed    bool
 	stats     Stats
+
+	// Epoch provenance, under mu: the rebalance epoch of the current
+	// target and whether the runnable count has reached it yet. rec is
+	// Config.Flight (nil = no settle events).
+	epoch   uint64
+	settled bool
+	rec     *flight.Recorder
 
 	// Wall-clock worker-time accounting, all nanoseconds under mu:
 	// busy (inside a task), idle (runnable but waiting for work), and
@@ -119,6 +132,8 @@ func New(cfg Config) *Pool {
 		workers:  cfg.Workers,
 		target:   cfg.Target,
 		runnable: cfg.Workers,
+		settled:  cfg.Target == cfg.Workers,
+		rec:      cfg.Flight,
 		met:      newPoolMetrics(cfg.Metrics, cfg.Name),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -172,6 +187,18 @@ func (p *Pool) Submit(t Task) error {
 // SetTarget sets how many workers may be runnable. Values are clamped
 // to [1, Workers]: the paper's starvation floor guarantees at least one.
 func (p *Pool) SetTarget(n int) {
+	p.SetTargetEpoch(n, 0)
+}
+
+// SetTargetEpoch is SetTarget carrying the epoch of the coordinator
+// rebalance that computed the target, for provenance: the settle event
+// recorded when the runnable count reaches the target is stamped with
+// it. Re-pushes of an unchanged target keep the epoch that set it and
+// settle nothing — only genuine changes have propagation to observe.
+// The target itself is applied before returning (workers converge to
+// it at their next safe suspension point), so it reports true —
+// in-process members acknowledge their epoch synchronously.
+func (p *Pool) SetTargetEpoch(n int, epoch uint64) bool {
 	if n < 1 {
 		n = 1
 	}
@@ -179,9 +206,15 @@ func (p *Pool) SetTarget(n int) {
 		n = p.workers
 	}
 	p.mu.Lock()
-	p.target = n
+	if n != p.target {
+		p.target = n
+		p.epoch = epoch
+		p.settled = false
+		p.maybeSettleLocked()
+	}
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	return true
 }
 
 // Target returns the current runnable-worker target.
@@ -189,6 +222,36 @@ func (p *Pool) Target() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.target
+}
+
+// Epoch returns the rebalance epoch of the current target (0 when the
+// target was set without one).
+func (p *Pool) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Settled reports whether the runnable count has reached the current
+// target.
+func (p *Pool) Settled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.settled
+}
+
+// maybeSettleLocked records the settle instant — the runnable count
+// reaching the target — once per target change. Callers hold p.mu; the
+// flight append takes only the ring's own leaf mutex.
+func (p *Pool) maybeSettleLocked() {
+	if p.settled || p.runnable != p.target {
+		return
+	}
+	p.settled = true
+	if p.rec != nil {
+		p.rec.Append(flight.Event{At: time.Now().UnixMicro(), Kind: flight.KindSettle,
+			App: p.name, A: int64(p.target), Epoch: p.epoch})
+	}
 }
 
 // Runnable returns how many workers are currently not suspended.
@@ -268,6 +331,7 @@ func (p *Pool) worker() {
 			p.runnable--
 			p.stats.Suspensions++
 			p.met.parks.Inc()
+			p.maybeSettleLocked()
 			parked := time.Now()
 			for p.runnable >= p.target && !(p.closed && len(p.queue) == 0) {
 				p.cond.Wait()
@@ -276,6 +340,7 @@ func (p *Pool) worker() {
 			p.runnable++
 			p.stats.Resumes++
 			p.met.unparks.Inc()
+			p.maybeSettleLocked()
 			continue
 		}
 		if len(p.queue) == 0 {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"procctl/internal/flight"
 	"procctl/internal/metrics"
 )
 
@@ -318,5 +319,78 @@ func TestPoolTimeGauges(t *testing.T) {
 		if snap.Get(metrics.Name(name, "pool", "g")) == nil {
 			t.Errorf("%s not exported", name)
 		}
+	}
+}
+
+// settleEvents extracts the settle instants a pool recorded.
+func settleEvents(rec *flight.Recorder) []flight.Event {
+	var out []flight.Event
+	for _, ev := range rec.Snapshot(0) {
+		if ev.Kind == flight.KindSettle {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestSetTargetEpochSettles(t *testing.T) {
+	rec := flight.New(16)
+	p := New(Config{Name: "web", Workers: 4, Flight: rec})
+	defer p.Close()
+
+	// A fresh pool is already at its target; nothing to converge.
+	if !p.Settled() {
+		t.Fatal("fresh pool not settled")
+	}
+
+	if applied := p.SetTargetEpoch(2, 9); !applied {
+		t.Fatal("in-process member did not report the epoch applied")
+	}
+	if e := p.Epoch(); e != 9 {
+		t.Fatalf("epoch = %d, want 9", e)
+	}
+	// Workers park at their next suspension point; the settle instant
+	// fires when the runnable count reaches the new target.
+	deadline := time.Now().Add(5 * time.Second)
+	for !p.Settled() {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never settled at target 2 (runnable %d)", p.Runnable())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	evs := settleEvents(rec)
+	if len(evs) != 1 {
+		t.Fatalf("recorded %d settle events, want 1", len(evs))
+	}
+	if ev := evs[0]; ev.App != "web" || ev.A != 2 || ev.Epoch != 9 {
+		t.Errorf("settle event = %+v, want app web, target 2, epoch 9", ev)
+	}
+
+	// Re-pushing the unchanged target keeps the epoch that set it and
+	// settles nothing: only genuine changes have propagation to observe.
+	p.SetTargetEpoch(2, 10)
+	if e := p.Epoch(); e != 9 {
+		t.Errorf("unchanged re-push moved the epoch to %d, want 9 kept", e)
+	}
+	if n := len(settleEvents(rec)); n != 1 {
+		t.Errorf("unchanged re-push recorded a settle event (%d total)", n)
+	}
+
+	// Raising the target unparks workers and settles again under the
+	// new epoch.
+	p.SetTargetEpoch(4, 11)
+	deadline = time.Now().Add(5 * time.Second)
+	for !p.Settled() {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never settled at target 4 (runnable %d)", p.Runnable())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	evs = settleEvents(rec)
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d settle events after raise, want 2", len(evs))
+	}
+	if ev := evs[1]; ev.A != 4 || ev.Epoch != 11 {
+		t.Errorf("second settle event = %+v, want target 4, epoch 11", ev)
 	}
 }

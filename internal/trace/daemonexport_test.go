@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"procctl/internal/flight"
+)
+
+// sampleTimeline is one epoch propagating to two clients: the daemon
+// decides targets for web and bat, web applies and settles, bat applies
+// but never settles (its flow finishes at the apply hop), and the
+// daemon's converge event closes web's chain.
+func sampleTimeline() DaemonTimeline {
+	return DaemonTimeline{
+		Daemon: []flight.Event{
+			{Seq: 1, At: 1000, Kind: flight.KindRegister, App: "web", A: 4},
+			{Seq: 2, At: 1500, Kind: flight.KindRebalance, A: 300, B: 2, Epoch: 7},
+			{Seq: 3, At: 1510, Kind: flight.KindTarget, App: "web", A: 3, B: 4, Epoch: 7},
+			{Seq: 4, At: 1520, Kind: flight.KindTarget, App: "bat", A: 5, B: 2, Epoch: 7},
+			{Seq: 5, At: 9000, Kind: flight.KindConverge, App: "web", A: 7490, B: 2, Epoch: 7},
+		},
+		Clients: []ClientTimeline{
+			{Name: "web", Events: []flight.Event{
+				{Seq: 1, At: 2000, Kind: flight.KindApply, App: "web", A: 3, B: 4, Epoch: 7},
+				{Seq: 2, At: 2500, Kind: flight.KindSettle, App: "web", A: 3, Epoch: 7},
+			}},
+			{Name: "bat", Events: []flight.Event{
+				{Seq: 1, At: 2100, Kind: flight.KindApply, App: "bat", A: 5, B: 2, Epoch: 7},
+			}},
+		},
+	}
+}
+
+func TestWriteDaemonChromeFlows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDaemonChrome(sampleTimeline(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", out)
+	}
+	ck, err := CheckDaemonChrome(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("check rejected own export: %v\n%s", err, out)
+	}
+	// Daemon + two clients; web's chain is target → apply → settle →
+	// converge, bat's is target → apply. Both start on pid 0 and finish
+	// on another pid (or vice versa), so both are cross-process.
+	if ck.Processes != 3 {
+		t.Fatalf("processes = %d, want 3", ck.Processes)
+	}
+	if ck.Flows != 2 || ck.CrossProcess != 2 {
+		t.Fatalf("flows = %d cross = %d, want 2 and 2\n%s", ck.Flows, ck.CrossProcess, out)
+	}
+	for _, want := range []string{
+		`"rebalance #7"`, `"target web -\u003e 3"`, `"converge #7"`,
+		`"apply 3"`, `"settle 3"`, `"epoch7:web"`, `"epoch7:bat"`, `"procctld"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %s", want)
+		}
+	}
+	// Timestamps are normalized to the earliest event (At 1000).
+	if !strings.Contains(out, `"ts":510`) {
+		t.Errorf("expected normalized target timestamp 510 in\n%s", out)
+	}
+}
+
+func TestCheckDaemonChromeRejects(t *testing.T) {
+	if _, err := CheckDaemonChrome(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := CheckDaemonChrome(strings.NewReader(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	dangling := `{"traceEvents":[{"ph":"s","ts":1,"pid":0,"tid":0,"id":"x"}]}`
+	if _, err := CheckDaemonChrome(strings.NewReader(dangling)); err == nil {
+		t.Fatal("dangling flow start accepted")
+	}
+}
+
+func TestReadFlightJSONL(t *testing.T) {
+	in := `{"seq":1,"at":10,"kind":"target","app":"web","a":3,"b":4,"epoch":2}
+
+{"seq":2,"at":20,"kind":"settle","app":"web","a":3,"epoch":2}
+`
+	evs, err := ReadFlightJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Epoch != 2 || evs[1].Kind != flight.KindSettle {
+		t.Fatalf("bad decode: %+v", evs)
+	}
+	if _, err := ReadFlightJSONL(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestMergeFlightEvents(t *testing.T) {
+	ring := []flight.Event{
+		{Seq: 9, At: 30, Kind: flight.KindTarget, App: "web", A: 3, B: 4, Epoch: 2},
+		{Seq: 10, At: 40, Kind: flight.KindConverge, App: "web", A: 10, B: 1, Epoch: 2},
+	}
+	// Journal-derived: same target event without a ring seq, plus an
+	// older record the ring already evicted.
+	jrn := []flight.Event{
+		{At: 10, Kind: flight.KindRegister, App: "web", A: 4},
+		{At: 30, Kind: flight.KindTarget, App: "web", A: 3, B: 4, Epoch: 2},
+	}
+	got := MergeFlightEvents(ring, jrn)
+	if len(got) != 3 {
+		t.Fatalf("merged %d events, want 3 (dup dropped): %+v", len(got), got)
+	}
+	if got[0].At != 10 || got[1].At != 30 || got[2].At != 40 {
+		t.Fatalf("not time-ordered: %+v", got)
+	}
+}

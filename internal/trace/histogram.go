@@ -115,7 +115,13 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 	for i, n := range h.buckets {
 		cum += n
 		if cum > target {
-			return sim.Duration(1) << uint(i) // bucket upper bound
+			// Bucket upper bound, clamped so a high quantile landing in
+			// the max's bucket never exceeds Quantile(1) = max.
+			ub := sim.Duration(1) << uint(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
 		}
 	}
 	return h.max

@@ -9,6 +9,13 @@
 #   /debug/vars    expvar JSON (memstats + the coordinator snapshot)
 #   events op      flight-recorder dump via procctl-top -events
 #
+# Then the convergence leg: two real client processes (procctl-top
+# -hold) are driven through rebalances, their epochs must settle (the
+# converge op reports them), and the daemon's ring dump, both client
+# ring dumps, and the journal are merged into one Perfetto timeline
+# whose decision→apply→settle flow arrows must cross process
+# boundaries (procctl-trace check -require-flows).
+#
 # Then the durability leg: a member is held open, the daemon is killed
 # with SIGKILL and restarted on its journal, and the registry must come
 # back without the client re-registering; procctl-replay must audit the
@@ -29,6 +36,7 @@ mkdir -p "$OUT"
 go build -o "$OUT/procctld" ./cmd/procctld
 go build -o "$OUT/procctl-top" ./cmd/procctl-top
 go build -o "$OUT/procctl-replay" ./cmd/procctl-replay
+go build -o "$OUT/procctl-trace" ./cmd/procctl-trace
 
 start_daemon() {
     "$OUT/procctld" -listen "unix:$SOCK" -capacity 8 -metrics "$METRICS_ADDR" \
@@ -80,6 +88,65 @@ grep -q '"coordinator"' "$OUT/vars.json" || fail "/debug/vars missing the coordi
 # span must be in the ring.
 "$OUT/procctl-top" -connect "unix:$SOCK" -events 0 >"$OUT/events.txt"
 grep -q rebalance "$OUT/events.txt" || fail "flight recorder shows no rebalance event"
+
+# --- convergence leg: two client processes, settled epochs, merged trace ---
+
+# Two real client processes drive pools against the daemon, each
+# recording its own flight ring and dumping it on exit.
+"$OUT/procctl-top" -connect "unix:$SOCK" -hold alpha:4 -hold-interval 100ms \
+    -hold-events "$OUT/alpha-events.jsonl" >"$OUT/alpha.log" 2>&1 &
+ALPHA=$!
+"$OUT/procctl-top" -connect "unix:$SOCK" -hold beta:4 -hold-interval 100ms \
+    -hold-events "$OUT/beta-events.jsonl" >"$OUT/beta.log" 2>&1 &
+BETA=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; kill "${HOLD:-0}" "$ALPHA" "$BETA" 2>/dev/null || true' EXIT
+
+# Both registrations rebalance the fleet; every epoch they open must
+# settle once the clients ack over their poll loops.
+for i in $(seq 1 100); do
+    "$OUT/procctl-top" -connect "unix:$SOCK" -converge 8 >"$OUT/converge.txt" 2>/dev/null || true
+    grep -q 'open epochs 0' "$OUT/converge.txt" && grep -Eq 'settled [1-9]' "$OUT/converge.txt" && break
+    sleep 0.1
+done
+grep -q 'open epochs 0' "$OUT/converge.txt" \
+    || fail "epochs never converged with two live clients: $(cat "$OUT/converge.txt")"
+grep -Eq 'settled [1-9]' "$OUT/converge.txt" || fail "converge op reports no settled epoch"
+
+# One more decision while both clients watch, so the merged timeline
+# has a multi-member epoch: load 2 -> targets shrink -> both re-apply.
+"$OUT/procctl-top" -connect "unix:$SOCK" -setload 1
+for i in $(seq 1 100); do
+    "$OUT/procctl-top" -connect "unix:$SOCK" -converge 8 >"$OUT/converge.txt" 2>/dev/null || true
+    grep -q 'open epochs 0' "$OUT/converge.txt" && break
+    sleep 0.1
+done
+grep -q 'open epochs 0' "$OUT/converge.txt" || fail "setload epoch never settled"
+
+# Epoch-filtered events: the newest rebalance's epoch must select a
+# non-empty subset of the ring.
+EPOCH=$("$OUT/procctl-top" -connect "unix:$SOCK" -events 0 -json \
+    | sed -n 's/.*"kind":"rebalance".*"epoch":\([0-9]*\).*/\1/p' | tail -1)
+[ -n "$EPOCH" ] || fail "no epoch-stamped rebalance in the events dump"
+"$OUT/procctl-top" -connect "unix:$SOCK" -events 0 -epoch "$EPOCH" >"$OUT/events-epoch.txt"
+grep -q rebalance "$OUT/events-epoch.txt" || fail "-epoch filter lost the rebalance event"
+
+# Dump the daemon ring, stop the clients (they dump their rings on
+# SIGTERM), and merge everything with the journal into one timeline.
+"$OUT/procctl-top" -connect "unix:$SOCK" -events 0 -json >"$OUT/daemon-events.jsonl"
+kill "$ALPHA" "$BETA"
+wait "$ALPHA" 2>/dev/null || true
+wait "$BETA" 2>/dev/null || true
+[ -s "$OUT/alpha-events.jsonl" ] || fail "alpha client dumped no events"
+[ -s "$OUT/beta-events.jsonl" ] || fail "beta client dumped no events"
+
+"$OUT/procctl-trace" export -source daemon \
+    -daemon-events "$OUT/daemon-events.jsonl" \
+    -client-events "$OUT/alpha-events.jsonl,$OUT/beta-events.jsonl" \
+    -journal "$JOURNAL" -out "$OUT/daemon-timeline.json" \
+    || fail "merged daemon export failed"
+"$OUT/procctl-trace" check -in "$OUT/daemon-timeline.json" -require-flows \
+    >"$OUT/trace-check.txt" || fail "merged timeline has no cross-process flow arrows"
+cat "$OUT/trace-check.txt"
 
 # --- durability leg: SIGKILL, restart, recover, audit ---
 
