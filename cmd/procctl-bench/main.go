@@ -19,12 +19,15 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -66,6 +69,13 @@ type result struct {
 	ConvP50Us  int64 `json:"convergence_p50_us,omitempty"`
 	ConvP99Us  int64 `json:"convergence_p99_us,omitempty"`
 	ConvP999Us int64 `json:"convergence_p999_us,omitempty"`
+	// Fleet10k extras: how long the register storm took to admit the
+	// whole fleet, and the admission/batching counters that show the
+	// scaling machinery actually engaged during the run.
+	StormSeconds   float64 `json:"storm_seconds,omitempty"`
+	ShedRegisters  int64   `json:"shed_registers,omitempty"`
+	BatchFlushes   int64   `json:"batch_flushes,omitempty"`
+	BatchCoalesced int64   `json:"batch_coalesced,omitempty"`
 }
 
 // report is the BENCH_<date>.json file, schema procctl-bench/1.
@@ -104,6 +114,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline JSON to compare against (empty: record only)")
 		threshold = flag.Float64("threshold", 0.10, "allowed fractional ns/op regression")
 		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		fleet     = flag.Int("fleet", 10_000, "client count for the Fleet10k storm benchmark")
 	)
 	// testing.Benchmark honors the standard test.benchtime flag; route
 	// ours through it so `make bench BENCH_TIME=100ms` works.
@@ -120,7 +131,7 @@ func main() {
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 	}
-	for _, bm := range curated() {
+	for _, bm := range curated(*fleet) {
 		fmt.Fprintf(os.Stderr, "procctl-bench: %s...\n", bm.name)
 		r := testing.Benchmark(bm.fn)
 		res := result{
@@ -296,6 +307,234 @@ func fleetRebalance() bench {
 	}
 }
 
+// pipeListener is an in-process net.Listener over net.Pipe pairs: the
+// 10k-client storm needs a transport with no file descriptors, ports,
+// or kernel accept queues, so the benchmark measures the coordinator
+// rather than the host's socket limits.
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn, 128), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+// Dial hands the server half of a fresh pipe to the accept loop and
+// returns the client half. The 128-deep accept queue is the natural
+// backpressure: past it, dialers block like SYN backlog overflow would.
+func (l *pipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// fleet10k builds the scaling benchmark: a fleet of `fleet` clients over
+// the in-process transport. Setup is a register storm — every client
+// dialing and registering at once against an admission-limited,
+// epoch-batching daemon, retrying busy sheds — timed into
+// storm_seconds. One measured op is then a mass rebalance: an
+// external-load swing that re-targets the entire fleet, every client
+// learning and acking its new target, and the rebalance epoch settling
+// to zero open epochs. after() reads the coordinator's stage="total"
+// and settled-convergence histograms for the quantiles, plus the
+// shed/batch counters proving the admission and coalescing paths ran.
+func fleet10k(fleet int) bench {
+	name := "Fleet10k"
+	if fleet != 10_000 {
+		// A reduced fleet (CI smoke) is a different workload; give it a
+		// different name so the baseline gate reports it as uncompared
+		// instead of pretending a 10x-smaller run is an improvement.
+		name = fmt.Sprintf("Fleet%d", fleet)
+	}
+	var last *coordinator.Coordinator
+	var storm time.Duration
+	return bench{
+		name: name,
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			ln := newPipeListener()
+			coord := coordinator.New(2 * fleet)
+			stopBatch := coord.StartBatching(5 * time.Millisecond)
+			srv := coordinator.NewServerWith(coord, ln, coordinator.ServerConfig{
+				Lease:      -1, // pipes have no lease heartbeats; no sweeper
+				AdmitLimit: 256,
+			})
+			go srv.Serve()
+
+			type clientState struct {
+				c       *coordinator.Client
+				name    string
+				applied uint64
+			}
+			clients := make([]*clientState, fleet)
+
+			// Register storm: every client dials and registers at once,
+			// retrying admission sheds with a short backoff (a benchmark
+			// is not patient enough for the daemon's 500 ms advisory).
+			var wg sync.WaitGroup
+			var stormFail atomic.Value
+			start := time.Now()
+			for i := range clients {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					conn, err := ln.Dial()
+					if err != nil {
+						stormFail.Store(err)
+						return
+					}
+					cs := &clientState{c: coordinator.NewClient(conn), name: fmt.Sprintf("app%05d", i)}
+					for {
+						_, err := cs.c.Register(cs.name, 4)
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, coordinator.ErrBusy) {
+							stormFail.Store(err)
+							return
+						}
+						time.Sleep(time.Duration(100+i%400) * time.Microsecond)
+					}
+					clients[i] = cs
+				}(i)
+			}
+			wg.Wait()
+			storm = time.Since(start)
+			if err := stormFail.Load(); err != nil {
+				b.Fatalf("register storm: %v", err)
+			}
+
+			// One parallel poll round: every client learns its target and
+			// epoch, then immediately acks any fresh epoch so the
+			// convergence tracker can settle.
+			pollRound := func() {
+				var pw sync.WaitGroup
+				work := make(chan *clientState, 256)
+				for w := 0; w < 256; w++ {
+					pw.Add(1)
+					go func() {
+						defer pw.Done()
+						for cs := range work {
+							_, epoch, err := cs.c.PollEpoch(cs.name, cs.applied)
+							if err != nil {
+								stormFail.Store(err)
+								continue
+							}
+							if epoch > cs.applied {
+								cs.applied = epoch
+								if _, _, err := cs.c.PollEpoch(cs.name, cs.applied); err != nil {
+									stormFail.Store(err)
+								}
+							}
+						}
+					}()
+				}
+				for _, cs := range clients {
+					work <- cs
+				}
+				close(work)
+				pw.Wait()
+			}
+			settle := func(stage string) {
+				deadline := time.Now().Add(2 * time.Minute)
+				for coord.OpenEpochs() > 0 {
+					if time.Now().After(deadline) {
+						b.Fatalf("%s: %d epochs still open", stage, coord.OpenEpochs())
+					}
+					pollRound()
+					time.Sleep(time.Millisecond)
+				}
+				if err := stormFail.Load(); err != nil {
+					b.Fatalf("%s: %v", stage, err)
+				}
+			}
+			settle("post-storm")
+
+			// Mass rebalance: swinging the external load between 0 and
+			// fleet halves the per-member share, so (almost) every member
+			// re-targets — a fleet-wide epoch each iteration.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prev := coord.Rebalances()
+				coord.SetExternalLoad((i%2 + 1) * fleet / 2)
+				for coord.Rebalances() == prev {
+					time.Sleep(100 * time.Microsecond) // batch window
+				}
+				pollRound()
+				settle("mass rebalance")
+			}
+			b.StopTimer()
+			last = coord
+
+			// Teardown order matters: closing the server unregisters 10k
+			// members; with batching still on those coalesce into one
+			// final flush instead of 10k O(fleet) inline rebalances.
+			for _, cs := range clients {
+				if cs != nil {
+					cs.c.Close()
+				}
+			}
+			srv.Close()
+			stopBatch()
+		},
+		after: func(res *result) {
+			res.StormSeconds = storm.Seconds()
+			if last == nil {
+				return
+			}
+			snap := last.Snapshot()
+			if m := snap.Get(metrics.Name("coordinator_rebalance_latency_micros", "stage", "total")); m != nil {
+				res.P50Us = m.Quantile(500)
+				res.P99Us = m.Quantile(990)
+				res.P999Us = m.Quantile(999)
+			}
+			if m := snap.Get(metrics.Name("coordinator_convergence_latency_micros", "outcome", coordinator.ConvergeSettled)); m != nil && m.Count > 0 {
+				res.ConvP50Us = m.Quantile(500)
+				res.ConvP99Us = m.Quantile(990)
+				res.ConvP999Us = m.Quantile(999)
+			}
+			if m := snap.Get(metrics.Name("coordinator_admission_shed_total", "reason", "register")); m != nil {
+				res.ShedRegisters = m.Value
+			}
+			if m := snap.Get("coordinator_batch_flushes_total"); m != nil {
+				res.BatchFlushes = m.Value
+			}
+			if m := snap.Get("coordinator_batch_coalesced_total"); m != nil {
+				res.BatchCoalesced = m.Value
+			}
+		},
+	}
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "procctl-bench: "+format+"\n", args...)
 	os.Exit(2)
@@ -305,7 +544,7 @@ func fatalf(format string, args ...any) {
 // the root bench_test.go definitions of the same names — kept in both
 // places because a main package cannot import _test.go files; the two
 // sets are pinned to each other by name in EXPERIMENTS.md.
-func curated() []bench {
+func curated(fleet int) []bench {
 	return []bench{
 		{name: "EngineEvents", extra: events, fn: func(b *testing.B) {
 			b.ReportAllocs()
@@ -439,12 +678,30 @@ func curated() []bench {
 				cb.Cycle(uint64(i+1), int64(i))
 			}
 		}},
+		// PollShard is the per-poll shard fast path: the counter bump,
+		// target read, and convergence ack a steady-state poll costs the
+		// coordinator, with the wire stripped away. Its baseline is
+		// 0 allocs/op and the comparison tolerates no increase, so this
+		// is the shard fast path's zero-alloc gate.
+		{name: "PollShard", extra: events, fn: func(b *testing.B) {
+			b.ReportAllocs()
+			pb := coordinator.NewPollBench(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pb.Poll(i&63, int64(i))
+			}
+		}},
 		// FleetRebalance is a driven fleet: eight applications registered
 		// over the socket, then b.N convergence cycles — a load change
 		// re-targeting the fleet, every client acking over the wire.
 		// Beyond ns/op, the coordinator's stage="total" span histogram
 		// and settled-convergence histogram supply p50/p99/p999.
 		fleetRebalance(),
+		// Fleet10k is the scaling exit proof: a 10k-client register storm
+		// against the admission limiter, then mass rebalances with the
+		// whole fleet learning, acking, and settling each epoch-batched
+		// recompute. One op is one fleet-wide convergence cycle.
+		fleet10k(fleet),
 		// TraceRecord is one recorded virtual second of the Fig4-style
 		// mix (matmul + fft + background, control on): the cost of the
 		// recorder's JSONL encoding on top of the simulation.

@@ -117,6 +117,15 @@ func TestDiffMatchesAndDetects(t *testing.T) {
 	}
 
 	// A journal whose recorded decision contradicts the policy fails.
+	appendBogus(t, dir)
+	out.Reset()
+	if err := runDiff(&out, dir, []string{"-capacity", "8"}); err == nil {
+		t.Fatalf("diff accepted a bogus decision:\n%s", out.String())
+	}
+}
+
+func appendBogus(t *testing.T, dir string) {
+	t.Helper()
 	w, err := journal.Open(dir, 13, journal.Options{SyncEvery: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -130,8 +139,60 @@ func TestDiffMatchesAndDetects(t *testing.T) {
 		}
 	}
 	w.Close()
+}
+
+// TestDiffReplaysBatchedJournal feeds diff a journal shaped the way the
+// epoch-batching daemon writes one: a registration burst journaled as
+// it is admitted, then a SINGLE epoch-stamped rebalance carrying the
+// consolidated target decisions for the whole burst — not one decision
+// per registration — and a second epoch recording only the net changes
+// of the next flush. The replayer's epoch-keyed matching must accept
+// the batched decision log as identical with no replay-side changes;
+// epoch-less v1 journals stay covered by TestDiffMatchesAndDetects.
+func TestDiffReplaysBatchedJournal(t *testing.T) {
+	dir := t.TempDir()
+	w, err := journal.Open(dir, 1, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := func(kind, name string, a, b int64, epoch uint64) {
+		t.Helper()
+		if _, err := w.Append(journal.Record{At: 1, Kind: kind, App: name, A: a, B: b, Epoch: epoch}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app(journal.KindSetCapacity, "", 8, 0, 0)
+	// The storm: three admissions, zero interleaved decisions.
+	app(journal.KindRegister, "alpha", 6, 0, 0)
+	app(journal.KindRegister, "beta", 6, 0, 0)
+	app(journal.KindRegister, "gamma", 6, 0, 0)
+	// One batched flush: a single epoch re-targets the whole fleet
+	// (equal split of 8 over three members: 3/3/2).
+	app(journal.KindRebalance, "", 10, 3, 1)
+	app(journal.KindTarget, "alpha", 3, 0, 1)
+	app(journal.KindTarget, "beta", 3, 0, 1)
+	app(journal.KindTarget, "gamma", 2, 0, 1)
+	// A load change lands in the next window; its flush journals only
+	// the net movement (6 available over three: 2/2/2, gamma unchanged).
+	app(journal.KindSetLoad, "", 2, 0, 0)
+	app(journal.KindRebalance, "", 10, 2, 2)
+	app(journal.KindTarget, "alpha", 2, 3, 2)
+	app(journal.KindTarget, "beta", 2, 3, 2)
+	w.Close()
+
+	var out strings.Builder
+	if err := runDiff(&out, dir, []string{"-capacity", "8"}); err != nil {
+		t.Fatalf("diff rejected the batched journal: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Errorf("diff output:\n%s", out.String())
+	}
+
+	// The same epoch-keyed matching still detects divergence in a
+	// batched log: a consolidated decision the policy does not explain.
+	appendBogus(t, dir)
 	out.Reset()
 	if err := runDiff(&out, dir, []string{"-capacity", "8"}); err == nil {
-		t.Fatalf("diff accepted a bogus decision:\n%s", out.String())
+		t.Fatalf("diff accepted a bogus batched decision:\n%s", out.String())
 	}
 }

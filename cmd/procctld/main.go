@@ -21,8 +21,16 @@
 //
 // Usage:
 //
+// Scale: -rebalance-batch coalesces membership storms into one
+// recompute+notify per window, and -max-conns/-admit bound how much of
+// a registration storm is admitted at once — the excess is shed with a
+// retryable busy reply that clients back off and retry.
+//
+// Usage:
+//
 //	procctld [-listen unix:/tmp/procctld.sock] [-capacity N] [-metrics HOST:PORT]
 //	         [-journal-dir DIR] [-snapshot-every N] [-fsync-every N]
+//	         [-rebalance-batch D] [-max-conns N] [-admit N]
 //	         [-log-level debug|info|warn|error] [-log-json] [-v]
 package main
 
@@ -54,6 +62,9 @@ func main() {
 		metrics  = flag.String("metrics", "", "serve metrics, pprof, and expvar over HTTP at this address (e.g. 127.0.0.1:9717)")
 		lease    = flag.Duration("lease", coordinator.DefaultLease, "unregister members whose connection is silent this long (0 disables)")
 		jdir     = flag.String("journal-dir", "", "persist every membership and target transition here; on restart the registry is recovered without client re-registration")
+		batchWin = flag.Duration("rebalance-batch", 0, "coalesce membership and load changes into one rebalance per this window (0 = rebalance on every event)")
+		maxConns = flag.Int("max-conns", 0, "cap concurrently served client connections; the excess is shed with a retryable busy reply (0 = unlimited)")
+		admit    = flag.Int("admit", 0, "cap concurrently admitted registrations; the excess is shed with a retryable busy reply (0 = unlimited)")
 		snapEvry = flag.Int("snapshot-every", 1024, "write a snapshot after this many journal records (0 disables periodic snapshots; a final one is still written on clean shutdown)")
 		syncEvry = flag.Int("fsync-every", 0, "fsync the journal after this many appends (1 = every append, 0 = the journal's default batch of 64)")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -87,7 +98,19 @@ func main() {
 		leaseCfg = -1 // flag 0 = disabled; config negative = disabled
 	}
 	coord := coordinator.New(*capacity)
-	srv := coordinator.NewServerWith(coord, ln, coordinator.ServerConfig{Lease: leaseCfg})
+	srv := coordinator.NewServerWith(coord, ln, coordinator.ServerConfig{
+		Lease:      leaseCfg,
+		MaxConns:   *maxConns,
+		AdmitLimit: *admit,
+	})
+
+	// Batching starts before recovery so even the boot-time rebalance
+	// storm of a large restored registry coalesces; stopBatch flushes
+	// pending work, so it must run before the final snapshot is sealed.
+	stopBatch := func() {}
+	if *batchWin > 0 {
+		stopBatch = coord.StartBatching(*batchWin)
+	}
 
 	// Durability: recover the previous incarnation's registry from the
 	// journal, then attach a writer so this incarnation's transitions
@@ -141,7 +164,8 @@ func main() {
 	}
 
 	logger.Info("procctld started",
-		"capacity", *capacity, "addr", ln.Addr().String(), "lease", lease.String())
+		"capacity", *capacity, "addr", ln.Addr().String(), "lease", lease.String(),
+		"rebalance_batch", batchWin.String(), "max_conns", *maxConns, "admit", *admit)
 
 	// Expose the coordinator's live state through expvar alongside the
 	// runtime's built-ins. Publish here (not in metricsHandler) — expvar
@@ -192,6 +216,9 @@ func main() {
 			metricsSrv.Close()
 		}
 		srv.Close()
+		// Flush any rebalance still pending in the batch window before
+		// sealing the final snapshot, so no dirty fleet is stranded.
+		stopBatch()
 		if jw != nil {
 			// Close-path unregisters are quiet, so the registry is
 			// still intact: seal it into a final snapshot for the next

@@ -48,3 +48,31 @@ func (r *R) inner() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 }
+
+// Shard mirrors a sharded registry: every shard's mutex is the same
+// (type, field) lock class.
+type Shard struct {
+	mu      sync.Mutex
+	entries []int
+}
+
+type Sharded struct {
+	shards [4]Shard
+}
+
+// Move holds the source shard's lock and takes the destination shard's
+// through a callee. Both are the shard class: to the order graph this
+// re-acquires a held class — and operationally, two goroutines moving
+// in opposite directions deadlock on each other's shard.
+func (s *Sharded) Move(from, to int) {
+	src := &s.shards[from]
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	s.insert(&s.shards[to], src.entries) // want "re-acquires"
+}
+
+func (s *Sharded) insert(dst *Shard, vs []int) {
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	dst.entries = append(dst.entries, vs...)
+}

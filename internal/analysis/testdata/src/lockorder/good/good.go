@@ -39,3 +39,27 @@ func (p *Pair) Independent() {
 	p.b.mu.Lock()
 	p.b.mu.Unlock()
 }
+
+// Shard mirrors a sharded registry: every shard's mutex is the same
+// (type, field) lock class, so the discipline is one shard at a time.
+type Shard struct {
+	mu      sync.Mutex
+	entries []int
+}
+
+type Sharded struct {
+	shards [4]Shard
+}
+
+// Gather copies shard by shard, releasing each lock before taking the
+// next: the held set never contains two members of the shard class.
+func (s *Sharded) Gather() []int {
+	var out []int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.entries...)
+		sh.mu.Unlock()
+	}
+	return out
+}

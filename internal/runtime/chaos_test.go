@@ -8,11 +8,13 @@ package runtime_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -485,6 +487,142 @@ func TestChaosSIGKILLRecovery(t *testing.T) {
 	}
 	if string(preJSON) != string(postJSON) {
 		t.Errorf("registry changed across SIGKILL\n pre  %s\n post %s", preJSON, postJSON)
+	}
+}
+
+// slowMember is an in-process member whose re-target takes real time:
+// the rebalance fan-out sleeps in SetTarget, so an admitted
+// registration occupies its admission slot long enough for a
+// simultaneous storm to collide with the limiter.
+type slowMember struct {
+	name   string
+	delay  time.Duration
+	target atomic.Int64
+}
+
+func (s *slowMember) Name() string { return s.name }
+func (s *slowMember) Workers() int { return 8 }
+func (s *slowMember) SetTarget(n int) {
+	time.Sleep(s.delay)
+	s.target.Store(int64(n))
+}
+
+// TestChaosRegisterStormShedsAndConverges fires a burst of simultaneous
+// registrations at a daemon whose admission limiter is deliberately
+// tiny while a resident member makes each admitted registration's
+// rebalance slow. The limiter must shed some of the burst with
+// retryable busy replies, every shed client must retry its way in, and
+// the fleet must end converged — targets re-summed to capacity — with
+// no goroutine leaked by the retry machinery.
+func TestChaosRegisterStormShedsAndConverges(t *testing.T) {
+	guardGoroutines(t)
+	sock := filepath.Join(t.TempDir(), "procctld.sock")
+	coord, srv := startDaemon(t, sock, 16, coordinator.ServerConfig{AdmitLimit: 2})
+	t.Cleanup(func() { srv.Close() })
+
+	// Already-resident slow member: most registrations change its
+	// target, so the fan-out holds the admission slot for ~delay.
+	coord.Register(&slowMember{name: "resident", delay: 20 * time.Millisecond})
+
+	const storm = 12
+	type launched struct {
+		drv *coordinator.Driver
+		p   *pool.Pool
+		err error
+	}
+	start := make(chan struct{})
+	results := make(chan launched, storm)
+	for i := 0; i < storm; i++ {
+		go func(i int) {
+			c, err := coordinator.Dial("unix", sock)
+			if err != nil {
+				results <- launched{err: err}
+				return
+			}
+			t.Cleanup(func() { c.Close() })
+			p := pool.New(pool.Config{Name: fmt.Sprintf("storm%02d", i), Workers: 4})
+			opts := fastDrive()
+			opts.AdmitPatience = 25 * time.Second
+			<-start
+			drv, err := c.DriveWith(fmt.Sprintf("storm%02d", i), 4, p, opts)
+			results <- launched{drv: drv, p: p, err: err}
+		}(i)
+	}
+	close(start) // the barrier: the whole storm registers at once
+
+	drivers := make([]launched, 0, storm)
+	for i := 0; i < storm; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("storm client never admitted: %v", r.err)
+			}
+			drivers = append(drivers, r)
+		case <-time.After(30 * time.Second):
+			t.Fatalf("only %d/%d storm clients registered", i, storm)
+		}
+	}
+
+	// Everyone is in, and the burst really did trip the limiter.
+	waitFor(t, 10*time.Second, func() bool {
+		return len(coord.Members()) == storm+1 && sumTargets(coord) == 16
+	}, "storm fleet never converged to the full capacity")
+	shedName := metrics.Name("coordinator_admission_shed_total", "reason", "register")
+	if v, ok := coord.Metrics().Value(shedName); !ok || v < 1 {
+		t.Errorf("%s = %d, want >= 1: the storm never collided with the limiter", shedName, v)
+	}
+
+	for _, r := range drivers {
+		r.drv.Stop()
+		r.p.Close()
+		r.p.Wait()
+	}
+}
+
+// TestChaosBatchedRegisterStormCoalesces points a registration burst at
+// a daemon running the epoch-batched recompute: the storm must land in
+// far fewer rebalance epochs than registrations, with the coalescing
+// visible in the batch counters, and the fleet still converges.
+func TestChaosBatchedRegisterStormCoalesces(t *testing.T) {
+	guardGoroutines(t)
+	sock := filepath.Join(t.TempDir(), "procctld.sock")
+	coord, srv := startDaemon(t, sock, 24, coordinator.ServerConfig{})
+	t.Cleanup(func() { srv.Close() })
+	stopBatch := coord.StartBatching(100 * time.Millisecond)
+	t.Cleanup(stopBatch)
+
+	const storm = 24
+	start := make(chan struct{})
+	errs := make(chan error, storm)
+	for i := 0; i < storm; i++ {
+		go func(i int) {
+			c, err := coordinator.Dial("unix", sock)
+			if err != nil {
+				errs <- err
+				return
+			}
+			t.Cleanup(func() { c.Close() })
+			<-start
+			_, err = c.Register(fmt.Sprintf("burst%02d", i), 4)
+			errs <- err
+		}(i)
+	}
+	close(start)
+	for i := 0; i < storm; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	waitFor(t, 5*time.Second, func() bool { return len(coord.Members()) == storm },
+		"batched storm never fully registered")
+	waitFor(t, 5*time.Second, func() bool { return sumTargets(coord) == 24 },
+		"batched flush never re-targeted the fleet to capacity")
+	if reb := coord.Rebalances(); reb >= storm {
+		t.Errorf("rebalances = %d for %d batched registrations; the storm did not coalesce", reb, storm)
+	}
+	if v, ok := coord.Metrics().Value("coordinator_batch_coalesced_total"); !ok || v < 1 {
+		t.Errorf("coordinator_batch_coalesced_total = %d, want >= 1", v)
 	}
 }
 

@@ -18,6 +18,24 @@ import (
 // DefaultPollInterval matches the paper's 6-second application poll.
 const DefaultPollInterval = 6 * time.Second
 
+// ErrBusy matches (via errors.Is) any retryable admission rejection:
+// the daemon shed the request under load rather than failing it.
+var ErrBusy = errors.New("coordinator: busy")
+
+// BusyError is the client-side form of a busy reply. It wraps the
+// server's reason and advisory retry wait; errors.Is(err, ErrBusy)
+// identifies it without unwrapping.
+type BusyError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return "coordinator: " + e.Reason
+}
+
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
 // Client is an application's connection to a coordinator daemon.
 type Client struct {
 	mu      sync.Mutex
@@ -108,6 +126,12 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, fmt.Errorf("coordinator: receive: %w", err)
 	}
 	if !resp.OK {
+		if resp.Busy {
+			return nil, &BusyError{
+				Reason:     resp.Error,
+				RetryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond,
+			}
+		}
 		return nil, errors.New("coordinator: " + resp.Error)
 	}
 	return &resp, nil
@@ -210,6 +234,20 @@ func (c *Client) Status() (*Status, error) {
 	return resp.Status, nil
 }
 
+// ShardStatus is Status with the per-shard registry statistics and
+// admission counters included (procctl-top -shards). Daemons predating
+// the sharded registry answer with a plain status: Shards stays nil.
+func (c *Client) ShardStatus() (*Status, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStatus, Shards: true})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == nil {
+		return nil, errors.New("coordinator: empty status")
+	}
+	return resp.Status, nil
+}
+
 // Metrics fetches the daemon's metrics snapshot (every registry series,
 // stamped with the daemon's wall clock in Unix microseconds).
 func (c *Client) Metrics() (*metrics.Snapshot, error) {
@@ -303,6 +341,12 @@ type DriveOptions struct {
 	// the client-side entries of the control plane's flight log, which
 	// procctl-trace's daemon export merges with the daemon's ring.
 	Flight *flight.Recorder
+	// AdmitPatience bounds how long the initial registration keeps
+	// retrying when the daemon sheds it with a retryable busy reply
+	// (jittered exponential backoff between attempts, honouring the
+	// server's advisory retry-after as a floor). Zero selects the
+	// default 30 s; negative fails on the first busy reply.
+	AdmitPatience time.Duration
 }
 
 func (o DriveOptions) withDefaults() DriveOptions {
@@ -320,6 +364,12 @@ func (o DriveOptions) withDefaults() DriveOptions {
 		if o.BackoffMax < o.BackoffMin {
 			o.BackoffMax = o.BackoffMin
 		}
+	}
+	if o.AdmitPatience == 0 {
+		o.AdmitPatience = 30 * time.Second
+	}
+	if o.AdmitPatience < 0 {
+		o.AdmitPatience = 0
 	}
 	return o
 }
@@ -377,7 +427,7 @@ type Driver struct {
 // after that is handled.
 func (c *Client) DriveWith(app string, procs int, t Targeter, opts DriveOptions) (*Driver, error) {
 	opts = opts.withDefaults()
-	target, epoch, err := c.registerEpoch(app, procs, opts.Weight, spinOf(t), 0)
+	target, epoch, err := c.registerWithRetry(app, procs, opts.Weight, spinOf(t), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +451,39 @@ func (c *Client) DriveWith(app string, procs int, t Targeter, opts DriveOptions)
 	d.wg.Add(1)
 	go d.loop()
 	return d, nil
+}
+
+// registerWithRetry is registerEpoch plus the admission-backpressure
+// protocol: a busy reply means the daemon shed the registration under
+// load, so the client backs off (jittered exponential, with the
+// server's advisory retry-after as a floor) and tries again until
+// AdmitPatience runs out. A connection-cap shed closes the connection
+// behind the reply, so each retry re-dials when the client can.
+func (c *Client) registerWithRetry(app string, procs, weight int, spin *float64, opts DriveOptions) (int, uint64, error) {
+	backoff := opts.BackoffMin
+	deadline := time.Now().Add(opts.AdmitPatience)
+	for {
+		target, epoch, err := c.registerEpoch(app, procs, weight, spin, 0)
+		var busy *BusyError
+		if err == nil || !errors.As(err, &busy) || !time.Now().Before(deadline) {
+			return target, epoch, err
+		}
+		wait := jitter(backoff)
+		if busy.RetryAfter > wait {
+			wait = busy.RetryAfter
+		}
+		time.Sleep(wait)
+		backoff *= 2
+		if backoff > opts.BackoffMax {
+			backoff = opts.BackoffMax
+		}
+		c.mu.Lock()
+		redialable := c.network != ""
+		c.mu.Unlock()
+		if redialable {
+			_ = c.Redial() // shed connections are closed server-side
+		}
+	}
 }
 
 // Applied returns the highest rebalance epoch this driver has applied.

@@ -117,8 +117,12 @@ func (cv *convergeTracker) Open(epoch uint64, at int64, changed []pendingMember)
 		return
 	}
 	cv.mu.Lock()
-	for _, ch := range changed {
-		cv.removeLocked(ch.name, at, epoch, ConvergeSuperseded)
+	if len(changed) > supersedeScanLimit {
+		cv.supersedeSetLocked(changed, at, epoch)
+	} else {
+		for _, ch := range changed {
+			cv.removeLocked(ch.name, at, epoch, ConvergeSuperseded)
+		}
 	}
 	if len(changed) > 0 {
 		o := cv.acquireLocked()
@@ -155,6 +159,49 @@ func (cv *convergeTracker) Drop(name string, at int64) {
 	cv.mu.Unlock()
 }
 
+// supersedeScanLimit is where Open switches from per-member linear
+// supersede scans to the one-pass set sweep below. Small fan-outs (the
+// steady-state case the zero-alloc ConvergeTrack gate pins) stay on
+// the allocation-free path; a batched rebalance re-targeting a
+// 10k-member fleet pays one map build instead of an
+// O(changed × pending) quadratic scan.
+const supersedeScanLimit = 32
+
+// supersedeSetLocked supersedes every changed member out of all open
+// epochs below limit in one pass over each epoch's pending list,
+// closing the epochs it empties.
+func (cv *convergeTracker) supersedeSetLocked(changed []pendingMember, at int64, limit uint64) {
+	in := make(map[string]struct{}, len(changed))
+	for _, ch := range changed {
+		in[ch.name] = struct{}{}
+	}
+	keep := cv.open[:0]
+	for _, o := range cv.open {
+		if o.epoch >= limit {
+			keep = append(keep, o)
+			continue
+		}
+		var last pendingMember
+		removed := false
+		kept := o.pending[:0]
+		for _, p := range o.pending {
+			if _, ok := in[p.name]; ok {
+				last = p
+				removed = true
+				continue
+			}
+			kept = append(kept, p)
+		}
+		o.pending = kept
+		if removed && len(o.pending) == 0 {
+			cv.closeLocked(o, at, ConvergeSuperseded, last.name, last.remote)
+			continue
+		}
+		keep = append(keep, o)
+	}
+	cv.open = keep
+}
+
 // removeLocked removes name from every open epoch below limit, closing
 // the ones it empties with the given outcome. Iteration compacts the
 // open table in place.
@@ -169,7 +216,10 @@ func (cv *convergeTracker) removeLocked(name string, at int64, limit uint64, out
 		for i := range o.pending {
 			if o.pending[i].name == name {
 				remote = o.pending[i].remote
-				o.pending = append(o.pending[:i], o.pending[i+1:]...)
+				// Pending is a set: swap-remove, so a 10k-member epoch's
+				// ack storm does not memmove half the list per ack.
+				o.pending[i] = o.pending[len(o.pending)-1]
+				o.pending = o.pending[:len(o.pending)-1]
 				found = true
 				break
 			}

@@ -5,18 +5,22 @@
 // serving polled targets to remote ones over a JSON-lines socket
 // protocol — the modern analogue of the paper's UMAX socket IPC.
 //
-// Locking discipline: c.mu guards only the membership table and the
-// scalar settings. Every Member interface call (Name at registration
-// aside) — Workers, Backlog, SetTarget — happens OUTSIDE the critical
-// section, on an immutable snapshot taken under the lock. Members are
-// arbitrary application code; calling them while holding c.mu would
-// make the coordinator's critical section as slow as its slowest
-// member, the convoy pattern the blockinglocked analyzer rejects.
+// Locking discipline: the membership table is sharded (see shard.go);
+// each shard's mutex guards only that shard's entries, c.mu guards only
+// the scalar settings, and no two shard locks — nor a shard lock and
+// c.mu — are ever held together. Every Member interface call (Name at
+// registration aside) — Workers, Backlog, SetTarget — happens OUTSIDE
+// all critical sections, on an immutable snapshot gathered shard by
+// shard. Members are arbitrary application code; calling them while
+// holding a coordinator lock would make the critical section as slow as
+// the slowest member, the convoy pattern the blockinglocked analyzer
+// rejects.
 package coordinator
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,32 +56,49 @@ type EpochMember interface {
 }
 
 // entry is one registered member with everything the coordinator reads
-// under its lock cached at registration time, so no Member method runs
-// inside a critical section.
+// under a shard lock cached at registration time, so no Member method
+// runs inside a critical section. seq is the global registration
+// sequence number: shards are hashed, so it — not slice position —
+// preserves the registration order core.Allocate's weighted round-robin
+// depends on. target is the member's allotment gauge, resolved once at
+// registration so the per-member fan-out in notify is allocation-free.
 type entry struct {
 	m      Member
 	name   string
 	weight int
+	seq    uint64
+	target *metrics.Gauge
 }
 
 // Coordinator allocates capacity among members. All methods are safe
 // for concurrent use.
 type Coordinator struct {
-	mu        sync.Mutex
+	mu        sync.Mutex // scalars only; never held with a shard lock
 	capacity  int
 	external  int // uncontrollable load (processors consumed elsewhere)
-	entries   []entry
 	loadAware bool
+
+	shards  [shardCount]shard
+	members atomic.Int64  // live entry count across all shards
+	regSeq  atomic.Uint64 // global registration sequence
 
 	rebalances int64
 	met        coordMetrics
+
+	// Batched-rebalance state: when batching is on, membership and load
+	// events mark dirty and kick the batch goroutine instead of
+	// recomputing inline; the goroutine coalesces everything that landed
+	// within one window into a single recompute+notify epoch.
+	batching atomic.Bool
+	dirty    atomic.Bool
+	kick     chan struct{}
 
 	rec *flight.Recorder
 
 	// jrn, when set, tees every durable flight event (see
 	// journal.FromFlight) into the write-ahead journal. The pointer is
 	// atomic so appends never serialize on a coordinator lock, and
-	// journal I/O always happens outside c.mu and pushMu.
+	// journal I/O always happens outside all coordinator locks.
 	jrn atomic.Pointer[journal.Writer]
 
 	// pushMu guards the last pushed target per member, so the flight
@@ -91,11 +112,12 @@ type Coordinator struct {
 	conv *convergeTracker
 }
 
-// snapshot is an immutable copy of the allocation inputs, taken under
-// c.mu and consumed outside it. epoch is the monotonically increasing
-// identity of the rebalance the snapshot feeds — the lifetime rebalance
-// count, which RestoreState resumes across daemon restarts, so epoch
-// IDs never repeat within one journal's history.
+// snapshot is an immutable copy of the allocation inputs, gathered
+// shard by shard and consumed outside all locks. epoch is the
+// monotonically increasing identity of the rebalance the snapshot
+// feeds — the lifetime rebalance count, which RestoreState resumes
+// across daemon restarts, so epoch IDs never repeat within one
+// journal's history.
 type snapshot struct {
 	entries   []entry
 	capacity  int
@@ -105,10 +127,11 @@ type snapshot struct {
 }
 
 // Rebalance span stages, in causal order: the member event waiting on
-// and copying state under c.mu (snapshot), the allocation computed from
-// the copy (recompute), the SetTarget fan-out to every member (notify),
-// and the whole span end to end (total). The client side records a
-// fifth stage, "apply", into its own registry (see DriveOptions).
+// and copying state under the shard and scalar locks (snapshot), the
+// allocation computed from the copy (recompute), the SetTarget fan-out
+// to every member (notify), and the whole span end to end (total). The
+// client side records a fifth stage, "apply", into its own registry
+// (see DriveOptions).
 var rebalanceStages = [...]string{StageSnapshot, StageRecompute, StageNotify, StageTotal}
 
 // Stage label values of coordinator_rebalance_latency_micros.
@@ -121,6 +144,10 @@ const (
 	StageApply = "apply"
 )
 
+// DefaultBatchWindow is the rebalance coalescing window StartBatching
+// uses when given a non-positive one.
+const DefaultBatchWindow = 5 * time.Millisecond
+
 // coordMetrics is the coordinator's slice of a metrics registry. The
 // runtime layer runs on the wall clock; rebalanceMicros measures notify
 // latency — recompute plus pushing SetTarget to every member — and the
@@ -131,6 +158,13 @@ type coordMetrics struct {
 	rebalanceCount  *metrics.Counter
 	rebalanceMicros *metrics.Histogram
 
+	// Batch coalescing: flushes is epochs actually recomputed by the
+	// batch goroutine, coalesced is membership/load events that were
+	// absorbed into an already-pending flush. Their ratio is the fan-out
+	// amplification batching saved.
+	batchFlushes   *metrics.Counter
+	batchCoalesced *metrics.Counter
+
 	stageMicros [len(rebalanceStages)]*metrics.Histogram
 	stageCount  [len(rebalanceStages)]*metrics.Counter
 }
@@ -140,6 +174,8 @@ func newCoordMetrics(reg *metrics.Registry) coordMetrics {
 		reg:             reg,
 		rebalanceCount:  reg.Counter("coordinator_rebalances_total", "target recomputations"),
 		rebalanceMicros: reg.Histogram("coordinator_rebalance_micros", "wall-clock recompute-and-notify latency", nil),
+		batchFlushes:    reg.Counter("coordinator_batch_flushes_total", "batched rebalance windows flushed"),
+		batchCoalesced:  reg.Counter("coordinator_batch_coalesced_total", "rebalance triggers absorbed into an already-pending batch"),
 	}
 	for i, stage := range rebalanceStages {
 		m.stageMicros[i] = reg.Histogram(metrics.Name("coordinator_rebalance_latency_micros", "stage", stage),
@@ -166,6 +202,7 @@ func New(capacity int) *Coordinator {
 	}
 	c := &Coordinator{
 		capacity:   capacity,
+		kick:       make(chan struct{}, 1),
 		rec:        flight.New(flight.DefaultSize),
 		lastPushed: make(map[string]int),
 	}
@@ -173,9 +210,9 @@ func New(capacity int) *Coordinator {
 	c.conv = newConvergeTracker(c.met.reg, c.rec)
 	c.met.reg.OnCollect(func() {
 		c.mu.Lock()
-		members, capacity, external := len(c.entries), c.capacity, c.external
+		capacity, external := c.capacity, c.external
 		c.mu.Unlock()
-		c.met.reg.Gauge("coordinator_members", "registered controllable applications").Set(int64(members))
+		c.met.reg.Gauge("coordinator_members", "registered controllable applications").Set(c.members.Load())
 		c.met.reg.Gauge("coordinator_capacity", "processors under management").Set(int64(capacity))
 		c.met.reg.Gauge("coordinator_external_load", "processors consumed by uncontrollable work").Set(int64(external))
 	})
@@ -241,10 +278,9 @@ func (c *Coordinator) SetCapacity(n int) error {
 	start := time.Now()
 	c.mu.Lock()
 	c.capacity = n
-	snap := c.snapshotLocked()
 	c.mu.Unlock()
 	c.RecordEvent(flight.Event{At: start.UnixMicro(), Kind: flight.KindSetCapacity, A: int64(n)})
-	c.notify(snap, start)
+	c.requestRebalance(start)
 	return nil
 }
 
@@ -258,10 +294,9 @@ func (c *Coordinator) SetExternalLoad(n int) {
 	start := time.Now()
 	c.mu.Lock()
 	c.external = n
-	snap := c.snapshotLocked()
 	c.mu.Unlock()
 	c.RecordEvent(flight.Event{At: start.UnixMicro(), Kind: flight.KindSetLoad, A: int64(n)})
-	c.notify(snap, start)
+	c.requestRebalance(start)
 }
 
 // ExternalLoad returns the current uncontrollable-load estimate.
@@ -283,15 +318,30 @@ func (c *Coordinator) RegisterWeighted(m Member, weight int) {
 	if weight < 1 {
 		weight = 1
 	}
-	name := m.Name() // interface call before taking the lock
+	name := m.Name() // interface call before taking any lock
 	start := time.Now()
-	c.mu.Lock()
-	c.removeLocked(name)
-	c.entries = append(c.entries, entry{m: m, name: name, weight: weight})
-	snap := c.snapshotLocked()
-	c.mu.Unlock()
+	c.insert(m, name, weight)
 	c.RecordEvent(flight.Event{At: start.UnixMicro(), Kind: flight.KindRegister, App: name, A: int64(m.Workers()), B: int64(weight)})
-	c.notify(snap, start)
+	c.requestRebalance(start)
+}
+
+// insert seats a member in its shard, replacing any member with the
+// same name. Re-registration takes a fresh sequence number — the
+// member moves to the end of allocation order, exactly as the flat
+// table's remove-then-append did.
+func (c *Coordinator) insert(m Member, name string, weight int) {
+	gauge := c.met.reg.Gauge(metrics.Name("coordinator_target", "app", name), "processors allotted to this member")
+	e := entry{m: m, name: name, weight: weight, seq: c.regSeq.Add(1), target: gauge}
+	sh := &c.shards[shardIndex(name)]
+	sh.lock()
+	replaced := sh.removeLocked(name)
+	sh.entries = append(sh.entries, e)
+	sh.weightSum += weight
+	sh.registers++
+	sh.mu.Unlock()
+	if !replaced {
+		c.members.Add(1)
+	}
 }
 
 // RestoreMember re-seats a member recovered from the journal without
@@ -299,16 +349,15 @@ func (c *Coordinator) RegisterWeighted(m Member, weight int) {
 // history, it does not create it. lastTarget primes the target-change
 // dedup so the post-restore rebalance journals only genuine changes.
 // Members are expected to be restored before the journal is attached
-// and before the server accepts traffic.
+// and before the server accepts traffic. Restoration order is
+// allocation order (the recovery path restores in sorted-name order,
+// matching the journal snapshot's canonical order).
 func (c *Coordinator) RestoreMember(m Member, weight, lastTarget int) {
 	if weight < 1 {
 		weight = 1
 	}
-	name := m.Name()
-	c.mu.Lock()
-	c.removeLocked(name)
-	c.entries = append(c.entries, entry{m: m, name: name, weight: weight})
-	c.mu.Unlock()
+	name := m.Name() // interface call before taking any lock
+	c.insert(m, name, weight)
 	c.pushMu.Lock()
 	c.lastPushed[name] = lastTarget
 	c.pushMu.Unlock()
@@ -357,11 +406,15 @@ func (c *Coordinator) UnregisterQuiet(name string) {
 
 func (c *Coordinator) unregister(name string, durable bool) {
 	start := time.Now()
-	c.mu.Lock()
-	removed := c.removeLocked(name)
-	snap := c.snapshotLocked()
-	c.mu.Unlock()
+	sh := &c.shards[shardIndex(name)]
+	sh.lock()
+	removed := sh.removeLocked(name)
 	if removed {
+		sh.unregisters++
+	}
+	sh.mu.Unlock()
+	if removed {
+		c.members.Add(-1)
 		c.met.reg.Remove(metrics.Name("coordinator_target", "app", name))
 		c.pushMu.Lock()
 		last, hadTarget := c.lastPushed[name]
@@ -384,48 +437,62 @@ func (c *Coordinator) unregister(name string, durable bool) {
 	if !durable {
 		return
 	}
-	c.notify(snap, start)
+	c.requestRebalance(start)
 }
 
-// removeLocked drops the named entry from the membership table. Callers
-// hold c.mu; the stale per-member gauge is the caller's to remove,
-// outside the lock.
-func (c *Coordinator) removeLocked(name string) bool {
-	for i, e := range c.entries {
-		if e.name == name {
-			c.entries = append(c.entries[:i], c.entries[i+1:]...)
-			return true
-		}
+// gather copies every shard's entries, one shard at a time — no two
+// shard locks are ever held together — then sorts the union by
+// registration sequence, reconstructing the global registration order
+// the allocation policy is sensitive to.
+func (c *Coordinator) gather() []entry {
+	out := make([]entry, 0, c.members.Load()+4)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.lock()
+		out = append(out, sh.entries...)
+		sh.mu.Unlock()
 	}
-	return false
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
 }
 
-// viewLocked copies the allocation inputs. Callers hold c.mu.
-func (c *Coordinator) viewLocked() snapshot {
+// view gathers the allocation inputs without bumping the epoch: status
+// paths (Targets, MemberInfos) preview the allocation, they do not
+// perform a rebalance.
+func (c *Coordinator) view() snapshot {
+	entries := c.gather()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return snapshot{
-		entries:   append([]entry(nil), c.entries...),
+		entries:   entries,
 		capacity:  c.capacity,
 		external:  c.external,
 		loadAware: c.loadAware,
 	}
 }
 
-// snapshotLocked is viewLocked plus the rebalance count: use it when
-// the snapshot will be passed to notify after unlocking. The bumped
-// count doubles as the rebalance's epoch ID.
-func (c *Coordinator) snapshotLocked() snapshot {
+// snapshotNext is view plus the rebalance count: use it when the
+// snapshot will be passed to notify. The bumped count doubles as the
+// rebalance's epoch ID.
+func (c *Coordinator) snapshotNext() snapshot {
+	entries := c.gather()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.rebalances++
-	snap := c.viewLocked()
-	snap.epoch = uint64(c.rebalances)
-	return snap
+	return snapshot{
+		entries:   entries,
+		capacity:  c.capacity,
+		external:  c.external,
+		loadAware: c.loadAware,
+		epoch:     uint64(c.rebalances),
+	}
 }
 
 // Members returns the registered member names in registration order.
 func (c *Coordinator) Members() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	names := make([]string, len(c.entries))
-	for i, e := range c.entries {
+	entries := c.gather()
+	names := make([]string, len(entries))
+	for i, e := range entries {
 		names[i] = e.name
 	}
 	return names
@@ -434,11 +501,98 @@ func (c *Coordinator) Members() []string {
 // Rebalance recomputes and pushes all targets. Registration changes do
 // this automatically; call it after a member's Workers count changes.
 func (c *Coordinator) Rebalance() {
-	start := time.Now()
-	c.mu.Lock()
-	snap := c.snapshotLocked()
-	c.mu.Unlock()
-	c.notify(snap, start)
+	c.requestRebalance(time.Now())
+}
+
+// requestRebalance either recomputes inline (the default: every
+// membership or load event rebalances synchronously, so callers
+// observe fresh targets on return) or, when batching is on, marks the
+// fleet dirty and kicks the batch goroutine, which coalesces all
+// events arriving within one window into a single epoch.
+func (c *Coordinator) requestRebalance(start time.Time) {
+	if !c.batching.Load() {
+		c.rebalanceNow(start)
+		return
+	}
+	if c.dirty.CompareAndSwap(false, true) {
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+		return
+	}
+	c.met.batchCoalesced.Inc()
+}
+
+// rebalanceNow performs one recompute+notify epoch immediately.
+func (c *Coordinator) rebalanceNow(start time.Time) {
+	c.notify(c.snapshotNext(), start)
+}
+
+// StartBatching switches the coordinator to epoch-batched rebalancing
+// until the returned stop function is called: membership and load
+// events mark the fleet dirty, and a single goroutine coalesces
+// everything landing within one window into one recompute+notify.
+// Epoch provenance is preserved — the flushed epoch's changed set is
+// exactly the net effect of the coalesced events, the convergence
+// tracker opens it before fan-out as always, and the journal sees one
+// rebalance record (plus net target changes) per flush instead of per
+// event. stop flushes any pending work synchronously before returning,
+// so a clean shutdown never strands a dirty fleet.
+func (c *Coordinator) StartBatching(window time.Duration) (stop func()) {
+	if window <= 0 {
+		window = DefaultBatchWindow
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	c.batching.Store(true)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.batchLoop(window, done)
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.batching.Store(false) // new triggers rebalance inline again
+			close(done)
+			wg.Wait()
+			c.flushBatch() // anything marked dirty before the switch
+		})
+	}
+}
+
+// batchLoop sleeps until kicked, waits out the coalescing window, and
+// flushes. One timer allocation per flush is noise next to the fan-out
+// it batches.
+func (c *Coordinator) batchLoop(window time.Duration, done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			c.flushBatch()
+			return
+		case <-c.kick:
+		}
+		t := time.NewTimer(window)
+		select {
+		case <-done:
+			t.Stop()
+			c.flushBatch()
+			return
+		case <-t.C:
+		}
+		c.flushBatch()
+	}
+}
+
+// flushBatch recomputes once if any event marked the fleet dirty since
+// the last flush.
+func (c *Coordinator) flushBatch() {
+	if !c.dirty.Swap(false) {
+		return
+	}
+	c.met.batchFlushes.Inc()
+	c.rebalanceNow(time.Now())
 }
 
 // Rebalances returns how many times targets were recomputed.
@@ -450,9 +604,7 @@ func (c *Coordinator) Rebalances() int64 {
 
 // Targets returns the most recently computed target per member name.
 func (c *Coordinator) Targets() map[string]int {
-	c.mu.Lock()
-	snap := c.viewLocked()
-	c.mu.Unlock()
+	snap := c.view()
 	alloc := c.allocate(snap)
 	out := make(map[string]int, len(snap.entries))
 	for i, e := range snap.entries {
@@ -474,12 +626,10 @@ type MemberInfo struct {
 
 // MemberInfos returns a consistent status view of the membership: names
 // and weights as registered, live Workers counts, and the target each
-// member would be assigned right now. Member methods run after the
-// coordinator's lock is released.
+// member would be assigned right now. Member methods run after all
+// coordinator locks are released.
 func (c *Coordinator) MemberInfos() []MemberInfo {
-	c.mu.Lock()
-	snap := c.viewLocked()
-	c.mu.Unlock()
+	snap := c.view()
 	alloc := c.allocate(snap)
 	out := make([]MemberInfo, len(snap.entries))
 	for i, e := range snap.entries {
@@ -495,7 +645,8 @@ func (c *Coordinator) MemberInfos() []MemberInfo {
 }
 
 // allocate computes the processor split for a snapshot. It runs outside
-// c.mu: demandOf calls into member code (Workers, Backlog, Executing).
+// all locks: demandOf calls into member code (Workers, Backlog,
+// Executing).
 func (c *Coordinator) allocate(snap snapshot) []int {
 	demands := make([]core.Demand, len(snap.entries))
 	for i, e := range snap.entries {
@@ -505,11 +656,11 @@ func (c *Coordinator) allocate(snap snapshot) []int {
 }
 
 // notify recomputes targets for a snapshot and pushes them to every
-// member in it, entirely outside c.mu. Two concurrent notify calls may
-// interleave their SetTarget pushes, so a member can transiently see
-// the older of two targets; the next rebalance (or the periodic
-// StartAutoRebalance tick) converges it. That transient is the price of
-// never holding the coordinator lock across member code.
+// member in it, entirely outside coordinator locks. Two concurrent
+// notify calls may interleave their SetTarget pushes, so a member can
+// transiently see the older of two targets; the next rebalance (or the
+// periodic StartAutoRebalance tick) converges it. That transient is
+// the price of never holding a coordinator lock across member code.
 //
 // start is when the triggering member event entered the coordinator:
 // the span from start to the snapshot's release is the "snapshot" stage
@@ -551,7 +702,7 @@ func (c *Coordinator) notify(snap snapshot, start time.Time) {
 			e.m.SetTarget(alloc[i])
 			applied[i] = true
 		}
-		c.met.reg.Gauge(metrics.Name("coordinator_target", "app", e.name), "processors allotted to this member").Set(int64(alloc[i]))
+		e.target.Set(int64(alloc[i]))
 	}
 	end := time.Now()
 	c.met.rebalanceMicros.Observe(end.Sub(snapDone).Microseconds())
@@ -634,13 +785,12 @@ func (c *Coordinator) SetLoadAware(on bool) {
 	start := time.Now()
 	c.mu.Lock()
 	c.loadAware = on
-	snap := c.snapshotLocked()
 	c.mu.Unlock()
-	c.notify(snap, start)
+	c.requestRebalance(start)
 }
 
 // demandOf computes a member's Demand. It calls into member code and
-// must therefore never run under c.mu.
+// must therefore never run under a coordinator lock.
 func demandOf(e entry, loadAware bool) core.Demand {
 	d := core.Demand{Max: e.m.Workers(), Weight: e.weight}
 	if !loadAware {

@@ -69,6 +69,11 @@ type Request struct {
 	// Epoch filters an "events" dump to records stamped with this epoch
 	// (0 = no filter).
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Shards asks a "status" request to include per-shard registry
+	// statistics and admission counters (procctl-top -shards). Opt-in
+	// because the shard table is operator diagnostics, not something
+	// every watch tick needs serialized.
+	Shards bool `json:"shards,omitempty"`
 }
 
 // Response is one server reply.
@@ -87,6 +92,12 @@ type Response struct {
 	Events []flight.Event `json:"events,omitempty"`
 	// Converge is the convergence report served by the "converge" op.
 	Converge *ConvergeStatus `json:"converge,omitempty"`
+	// Busy marks a retryable admission rejection: the server shed this
+	// request under load (connection cap or registration-admission
+	// limit) rather than failing it. Clients should back off and retry;
+	// RetryAfterMs is the server's advisory minimum wait.
+	Busy         bool `json:"busy,omitempty"`
+	RetryAfterMs int  `json:"retry_after_ms,omitempty"`
 }
 
 // Status is the coordinator state snapshot served to inspectors.
@@ -101,6 +112,33 @@ type Status struct {
 	// quantiles (absent on daemons predating the spans, or before the
 	// first rebalance).
 	Rebalance []StageLatency `json:"rebalance,omitempty"`
+	// Shards and Admission are served only when the request set
+	// Request.Shards (absent on daemons predating the sharded registry).
+	Shards    []ShardStatus    `json:"shards,omitempty"`
+	Admission *AdmissionStatus `json:"admission,omitempty"`
+}
+
+// ShardStatus is one registry shard's statistics: membership, demand
+// weight, lifetime traffic, and accumulated contended lock wait.
+type ShardStatus struct {
+	Shard          int   `json:"shard"`
+	Members        int   `json:"members"`
+	Weight         int   `json:"weight"`
+	Registers      int64 `json:"registers"`
+	Unregisters    int64 `json:"unregisters"`
+	Polls          int64 `json:"polls"`
+	LockWaitMicros int64 `json:"lock_wait_us"`
+}
+
+// AdmissionStatus reports the server's backpressure state: connection
+// and registration limits, and how much load was admitted versus shed.
+type AdmissionStatus struct {
+	OpenConns     int   `json:"open_conns"`
+	MaxConns      int   `json:"max_conns,omitempty"`
+	AdmitLimit    int   `json:"admit_limit,omitempty"`
+	Admitted      int64 `json:"admitted"`
+	ShedConns     int64 `json:"shed_conns"`
+	ShedRegisters int64 `json:"shed_registers"`
 }
 
 // StageLatency summarizes one rebalance stage's latency distribution in

@@ -29,9 +29,13 @@ const DefaultLease = 3 * DefaultPollInterval
 // peer has stopped draining its socket.
 const DefaultIOTimeout = 10 * time.Second
 
-// ServerConfig tunes the socket server's failure detection. The zero
-// value selects the defaults; a negative Lease disables lease expiry
-// (EOF cleanup still applies).
+// DefaultBusyRetry is the advisory minimum backoff a busy reply asks
+// shed clients to wait before retrying.
+const DefaultBusyRetry = 500 * time.Millisecond
+
+// ServerConfig tunes the socket server's failure detection and
+// admission backpressure. The zero value selects the defaults; a
+// negative Lease disables lease expiry (EOF cleanup still applies).
 type ServerConfig struct {
 	// Lease is the maximum silence per connection. Any decoded request
 	// renews it for every application registered on that connection.
@@ -42,6 +46,17 @@ type ServerConfig struct {
 	// IOTimeout bounds each response write (and each read once a
 	// request's first byte is due under the lease deadline).
 	IOTimeout time.Duration
+	// MaxConns caps how many connections the server keeps open at once
+	// (0 = unlimited). A connection accepted over the cap gets one
+	// retryable busy reply to its first request and is closed — shed,
+	// not errored, so a registration storm degrades into backoff rounds
+	// instead of an unbounded handler-goroutine population.
+	MaxConns int
+	// AdmitLimit bounds how many registrations may be admitted
+	// concurrently (0 = unlimited). Registrations arriving while the
+	// admission semaphore is full get a retryable busy reply on their
+	// live connection.
+	AdmitLimit int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -160,6 +175,15 @@ type Server struct {
 
 	handlers sync.WaitGroup // joins per-connection handler goroutines
 	expiries *metrics.Counter
+
+	// admit is the registration-admission semaphore (nil = unlimited):
+	// a buffered channel holding one token per in-flight admitted
+	// registration, try-acquired so a full house sheds instead of
+	// queueing.
+	admit    chan struct{}
+	admitted *metrics.Counter
+	shedConn *metrics.Counter
+	shedReg  *metrics.Counter
 }
 
 // NewServer wraps a coordinator and a listener with the default failure
@@ -178,7 +202,20 @@ func NewServerWith(coord *Coordinator, ln net.Listener, cfg ServerConfig) *Serve
 		owners:    make(map[string]*connState),
 		recovered: make(map[string]recoveredEntry),
 		expiries:  coord.Metrics().Counter("coordinator_lease_expiries_total", "members unregistered because their connection went silent past its lease"),
+		admitted:  coord.Metrics().Counter("coordinator_admission_admitted_total", "registrations admitted"),
+		shedConn:  coord.Metrics().Counter(metrics.Name("coordinator_admission_shed_total", "reason", "conns"), "connections shed with a busy reply at the connection cap"),
+		shedReg:   coord.Metrics().Counter(metrics.Name("coordinator_admission_shed_total", "reason", "register"), "registrations shed with a busy reply at the admission limit"),
 	}
+	if s.cfg.AdmitLimit > 0 {
+		s.admit = make(chan struct{}, s.cfg.AdmitLimit)
+	}
+	openConns := coord.Metrics().Gauge("coordinator_open_conns", "client connections currently served")
+	coord.Metrics().OnCollect(func() {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		openConns.Set(int64(n))
+	})
 	s.coord.Metrics().OnCollect(s.collectLeases)
 	return s
 }
@@ -308,13 +345,42 @@ func (s *Server) Serve() error {
 			conn.Close()
 			return net.ErrClosed
 		}
+		shed := s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns
 		s.conns[conn] = cs
 		// Add inside the critical section that checks closed, so a
 		// concurrent Close cannot Wait between the check and the Add.
 		s.handlers.Add(1)
 		s.mu.Unlock()
+		if shed {
+			s.shedConn.Inc()
+			go s.rejectBusy(cs)
+			continue
+		}
 		go s.handle(cs)
 	}
+}
+
+// rejectBusy serves a connection accepted over the MaxConns cap: it
+// answers the first request with a retryable busy reply and closes.
+// The connection is tracked in s.conns (so Close tears it down) and in
+// the handlers WaitGroup (so Close waits for it), same as a served one.
+func (s *Server) rejectBusy(cs *connState) {
+	defer s.handlers.Done()
+	conn := cs.conn
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+	var req Request
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+	resp := busyResp("connection limit reached")
+	_ = json.NewEncoder(conn).Encode(&resp)
 }
 
 // sweepLoop periodically closes connections whose lease lapsed. Closing
@@ -485,7 +551,22 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 		if req.App == "" || req.Procs < 1 {
 			return errResp(errors.New("register needs app and procs >= 1"))
 		}
+		if s.admit != nil {
+			select {
+			case s.admit <- struct{}{}:
+				defer func() { <-s.admit }()
+			default:
+				s.shedReg.Inc()
+				return busyResp("registration admission limit reached")
+			}
+		}
+		s.admitted.Inc()
 		m := &remoteMember{name: req.App, procs: req.Procs}
+		// Until the first rebalance lands (immediately below when
+		// rebalancing inline, at the next flush when batching), the
+		// member's pending target is its own process count: run
+		// uncontrolled rather than at zero.
+		m.SetTargetEpoch(req.Procs, 0)
 		m.noteSpin(req.SpinPct)
 		s.coord.RegisterWeighted(m, req.Weight)
 		owned[req.App] = m
@@ -510,6 +591,7 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 		if !ok {
 			return errResp(fmt.Errorf("app %q not registered on this connection", req.App))
 		}
+		s.coord.NotePoll(req.App)
 		m.noteSpin(req.SpinPct)
 		if req.Applied > 0 {
 			s.coord.AckApplied(req.App, req.Applied, time.Now().UnixMicro())
@@ -534,7 +616,7 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 		return Response{OK: true}
 
 	case OpStatus:
-		return Response{OK: true, Status: s.status()}
+		return Response{OK: true, Status: s.status(req.Shards)}
 
 	case OpMetrics:
 		return Response{OK: true, Metrics: s.coord.Snapshot()}
@@ -550,11 +632,25 @@ func (s *Server) dispatchOp(req *Request, cs *connState) Response {
 	}
 }
 
-func (s *Server) status() *Status {
+func (s *Server) status(withShards bool) *Status {
 	st := &Status{
 		Capacity:     s.coord.Capacity(),
 		ExternalLoad: s.coord.ExternalLoad(),
 		LeaseSeconds: s.cfg.Lease.Seconds(),
+	}
+	if withShards {
+		for _, sh := range s.coord.ShardStats() {
+			st.Shards = append(st.Shards, ShardStatus{
+				Shard:          sh.Shard,
+				Members:        sh.Members,
+				Weight:         sh.Weight,
+				Registers:      sh.Registers,
+				Unregisters:    sh.Unregisters,
+				Polls:          sh.Polls,
+				LockWaitMicros: sh.LockWaitMicros,
+			})
+		}
+		st.Admission = s.admissionStatus()
 	}
 	now := time.Now()
 	s.mu.Lock()
@@ -671,6 +767,33 @@ func (s *Server) convergeStatus(limit int) *ConvergeStatus {
 	return cs
 }
 
+// admissionStatus snapshots the backpressure counters for the shards
+// view.
+func (s *Server) admissionStatus() *AdmissionStatus {
+	s.mu.Lock()
+	open := len(s.conns)
+	s.mu.Unlock()
+	return &AdmissionStatus{
+		OpenConns:     open,
+		MaxConns:      s.cfg.MaxConns,
+		AdmitLimit:    s.cfg.AdmitLimit,
+		Admitted:      s.admitted.Value(),
+		ShedConns:     s.shedConn.Value(),
+		ShedRegisters: s.shedReg.Value(),
+	}
+}
+
 func errResp(err error) Response {
 	return Response{OK: false, Error: err.Error()}
+}
+
+// busyResp is the retryable shed reply: not an error the client should
+// surface, an instruction to back off and come again.
+func busyResp(why string) Response {
+	return Response{
+		OK:           false,
+		Error:        "busy: " + why,
+		Busy:         true,
+		RetryAfterMs: int(DefaultBusyRetry / time.Millisecond),
+	}
 }
